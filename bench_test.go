@@ -1,0 +1,270 @@
+// Package pacstack's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation, one benchmark per artifact:
+//
+//	BenchmarkTable1/...      Section 6.2 violation probabilities
+//	BenchmarkBirthday        Section 6.2.1 harvest-until-collision
+//	BenchmarkBruteForce/...  Section 4.3 guessing strategies
+//	BenchmarkReuseAttack     Section 6.1 Listing 6 matrix
+//	BenchmarkSignGadget      Section 6.3.1 tail-call gadget
+//	BenchmarkAppendixA       the G_PAC-Collision game
+//	BenchmarkFig5/...        per-benchmark overheads (cycles reported)
+//	BenchmarkTable2          SPEC geometric means
+//	BenchmarkTable3          NGINX SSL TPS
+//	BenchmarkConfirm         Section 7.3 compatibility matrix
+//	BenchmarkCostModelAblation  PAC-latency sensitivity
+//
+// Custom metrics carry the reproduced numbers (overhead fractions,
+// success rates, req/s) so `go test -bench=.` output documents the
+// reproduction, not just wall-clock time.
+package pacstack
+
+import (
+	"fmt"
+	"testing"
+
+	"pacstack/internal/attack"
+	"pacstack/internal/compile"
+	"pacstack/internal/confirm"
+	"pacstack/internal/cpu"
+	"pacstack/internal/gadget"
+	"pacstack/internal/ir"
+	"pacstack/internal/kernel"
+	"pacstack/internal/oracle"
+	"pacstack/internal/pa"
+	"pacstack/internal/stats"
+	"pacstack/internal/workload"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for _, masked := range []bool{false, true} {
+		for _, kind := range []attack.ViolationKind{
+			attack.OnGraph, attack.OffGraphCallSite, attack.OffGraphArbitrary,
+		} {
+			name := fmt.Sprintf("%s/masked=%v", kind, masked)
+			b.Run(name, func(b *testing.B) {
+				cfg := attack.DefaultTable1Config()
+				cfg.Trials = b.N
+				cells := attack.Table1(cfg)
+				for _, c := range cells {
+					if c.Kind == kind && c.Masked == masked {
+						b.ReportMetric(c.Measured.Rate(), "success-rate")
+						b.ReportMetric(c.Expected, "paper-bound")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBirthday(b *testing.B) {
+	res := attack.Birthday(16, max(b.N, 10), 1)
+	b.ReportMetric(res.MeanDraws, "mean-draws")
+	b.ReportMetric(res.ExpectedDraws, "paper-draws")
+}
+
+func BenchmarkBruteForce(b *testing.B) {
+	cases := []struct {
+		strategy attack.GuessingStrategy
+		bits     int
+	}{
+		{attack.RestartingVictim, 4},
+		{attack.ForkedSiblings, 8},
+		{attack.ReseededSiblings, 8},
+	}
+	for _, c := range cases {
+		b.Run(c.strategy.String(), func(b *testing.B) {
+			res := attack.BruteForce(c.strategy, c.bits, max(b.N, 20), 1)
+			b.ReportMetric(res.MeanGuesses, "mean-guesses")
+			b.ReportMetric(res.ExpectedGuesses, "paper-guesses")
+		})
+	}
+}
+
+func BenchmarkReuseAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := attack.ReuseAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		hijacked := 0
+		for _, r := range results {
+			if r.Hijacked {
+				hijacked++
+			}
+		}
+		b.ReportMetric(float64(hijacked), "schemes-hijacked")
+	}
+}
+
+func BenchmarkSignGadget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := attack.TailCallGadget(compile.SchemePACStack)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Detected {
+			b.Fatal("gadget not detected")
+		}
+	}
+}
+
+func BenchmarkAppendixA(b *testing.B) {
+	for _, masked := range []bool{false, true} {
+		b.Run(fmt.Sprintf("masked=%v", masked), func(b *testing.B) {
+			wins := stats.Binomial{}
+			q := int(stats.BirthdayExpectedDraws(8) * 3)
+			for i := 0; i < b.N; i++ {
+				g := &oracle.CollisionGame{H: oracle.NewRandomOracle(8, int64(i)), Masked: masked}
+				if g.Play(oracle.NewHarvestAdversary(0x40, int64(i)), q) {
+					wins.Successes++
+				}
+				wins.Trials++
+			}
+			b.ReportMetric(wins.Rate(), "win-rate")
+		})
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	cm := cpu.DefaultCostModel()
+	for _, bench := range workload.SPEC {
+		b.Run(bench.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, err := workload.RunBenchmark(bench, []compile.Scheme{compile.SchemePACStack}, cm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*rs[0].Overhead, "overhead-%")
+				b.ReportMetric(100*bench.PaperPACStack, "paper-%")
+				b.ReportMetric(float64(rs[0].Cycles), "cycles")
+			}
+		})
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	cm := cpu.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		results, err := workload.RunSuite(workload.SPEC, compile.Schemes, cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t2 := workload.Table2(results)
+		b.ReportMetric(100*t2[compile.SchemePACStack][workload.SPECrate], "pacstack-rate-%")
+		b.ReportMetric(100*t2[compile.SchemePACStack][workload.SPECspeed], "pacstack-speed-%")
+		b.ReportMetric(100*t2[compile.SchemePACStackNoMask][workload.SPECrate], "nomask-rate-%")
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	cm := cpu.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		rows, err := workload.Table3(cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Workers == 4 {
+				switch r.Scheme {
+				case compile.SchemeNone:
+					b.ReportMetric(r.RequestsPerSec, "baseline-req/s")
+				case compile.SchemePACStack:
+					b.ReportMetric(100*r.OverheadVsBase, "pacstack-overhead-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkConfirm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := confirm.RunAll(compile.Schemes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pass := 0
+		for _, r := range results {
+			if r.Pass {
+				pass++
+			}
+		}
+		b.ReportMetric(float64(pass), "passing")
+		b.ReportMetric(float64(len(results)), "total")
+	}
+}
+
+func BenchmarkCostModelAblation(b *testing.B) {
+	bench := workload.SPEC[1] // gcc_r: mid call density
+	for _, pac := range []int{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("pac-cycles=%d", pac), func(b *testing.B) {
+			cm := cpu.DefaultCostModel()
+			cm.PAC = pac
+			for i := 0; i < b.N; i++ {
+				rs, err := workload.RunBenchmarkCosts(bench, []compile.Scheme{compile.SchemePACStack},
+					cpu.DefaultCostModel(), cm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*rs[0].Overhead, "overhead-%")
+			}
+		})
+	}
+}
+
+func BenchmarkGadgetCensus(b *testing.B) {
+	prog := workload.SPEC[0].Program(cpu.DefaultCostModel())
+	for _, s := range []compile.Scheme{compile.SchemeNone, compile.SchemePACStack} {
+		b.Run(s.String(), func(b *testing.B) {
+			img, err := compile.Compile(prog, s, compile.DefaultLayout())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var usable int
+			for i := 0; i < b.N; i++ {
+				gs := gadget.UserCode(gadget.Scan(img.Prog, 0))
+				usable = gadget.UsableReturns(gs)
+			}
+			b.ReportMetric(float64(usable), "usable-returns")
+		})
+	}
+}
+
+func BenchmarkDifferentialSchemes(b *testing.B) {
+	// One randomly generated program through all six schemes per
+	// iteration — the R3 compatibility workhorse.
+	for i := 0; i < b.N; i++ {
+		p := ir.Generate(ir.DefaultGenConfig(), int64(i))
+		var ref string
+		for _, s := range compile.Schemes {
+			img, err := compile.Compile(p, s, compile.DefaultLayout())
+			if err != nil {
+				b.Fatal(err)
+			}
+			proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := proc.Run(5_000_000); err != nil {
+				b.Fatalf("seed %d %v: %v", i, s, err)
+			}
+			out := string(proc.Output)
+			if s == compile.SchemeNone {
+				ref = out
+			} else if out != ref {
+				b.Fatalf("seed %d: %v diverged", i, s)
+			}
+		}
+	}
+}
+
+func BenchmarkExpiredJmpBuf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := attack.ExpiredJmpBuf()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Reused {
+			b.Fatal("documented limitation no longer reproduces")
+		}
+	}
+}

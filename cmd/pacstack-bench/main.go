@@ -1,0 +1,98 @@
+// Command pacstack-bench regenerates the paper's performance
+// evaluation: Figure 5 (per-benchmark overheads), Table 2 (geometric
+// means), Table 3 (NGINX SSL TPS), and the PAC-cost ablation called
+// out in DESIGN.md.
+//
+// Usage:
+//
+//	pacstack-bench [-exp fig5|table2|table3|paccost|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/cpu"
+	"pacstack/internal/harness"
+	"pacstack/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pacstack-bench: ")
+	exp := flag.String("exp", "all", "experiment: fig5, table2, table3, paccost, or all")
+	flag.Parse()
+
+	cm := cpu.DefaultCostModel()
+	switch *exp {
+	case "fig5":
+		fig5AndTable2(cm, true, false)
+	case "table2":
+		fig5AndTable2(cm, false, true)
+	case "table3":
+		table3(cm)
+	case "paccost":
+		pacCostAblation()
+	case "all":
+		fig5AndTable2(cm, true, true)
+		table3(cm)
+		pacCostAblation()
+	default:
+		log.Printf("unknown experiment %q", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fig5AndTable2(cm cpu.CostModel, wantFig5, wantTable2 bool) {
+	results, err := workload.RunSuite(workload.SPEC, compile.Schemes, cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if wantFig5 {
+		fmt.Println(harness.Figure5(results))
+	}
+	if wantTable2 {
+		fmt.Println(harness.Table2(workload.Table2(results)))
+		fmt.Printf("C++ benchmarks: PACStack %.1f%% (paper ~2.0%%), PACStack-nomask %.1f%% (paper ~0.9%%)\n\n",
+			100*workload.CPPMean(results, compile.SchemePACStack),
+			100*workload.CPPMean(results, compile.SchemePACStackNoMask))
+	}
+}
+
+func table3(cm cpu.CostModel) {
+	rows, err := workload.Table3(cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(harness.Table3(rows))
+}
+
+// pacCostAblation varies the modelled PAC instruction latency (the
+// paper uses the 4-cycle QARMA estimate) and reports how the PACStack
+// SPECrate geometric mean responds.
+func pacCostAblation() {
+	fmt.Println("Ablation: PACStack SPECrate geomean vs. modelled PAC latency")
+	subset := workload.SPEC[:8] // the C SPECrate benchmarks
+	for _, pacCycles := range []int{0, 2, 4, 8} {
+		cm := cpu.DefaultCostModel()
+		cm.PAC = pacCycles
+		var results []workload.Result
+		for _, b := range subset {
+			rs, err := workload.RunBenchmarkCosts(b, []compile.Scheme{
+				compile.SchemeNone, compile.SchemePACStack,
+			}, cpu.DefaultCostModel(), cm)
+			if err != nil {
+				log.Fatal(err)
+			}
+			results = append(results, rs...)
+		}
+		t2 := workload.Table2(results)
+		fmt.Printf("  PAC = %d cycles: %5.2f%%\n",
+			pacCycles, 100*t2[compile.SchemePACStack][workload.SPECrate])
+	}
+	fmt.Println()
+}

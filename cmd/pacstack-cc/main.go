@@ -1,0 +1,119 @@
+// Command pacstack-cc is the toolchain driver: it compiles a .acs
+// source file (the internal/ir surface syntax, see internal/irtext)
+// under a chosen protection scheme, and then disassembles, encodes,
+// runs, or analyses the result — the workflow a user of the paper's
+// LLVM artifact has with clang.
+//
+// Usage:
+//
+//	pacstack-cc [-scheme pacstack] prog.acs              # compile + run
+//	pacstack-cc -S prog.acs                              # print assembly
+//	pacstack-cc -o prog.bin prog.acs                     # emit binary image
+//	pacstack-cc -gadgets prog.acs                        # static gadget census
+//	pacstack-cc -fmt prog.acs                            # reformat source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/gadget"
+	"pacstack/internal/irtext"
+	"pacstack/internal/isa"
+	"pacstack/internal/kernel"
+	"pacstack/internal/pa"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pacstack-cc: ")
+	schemeName := flag.String("scheme", "pacstack", "protection scheme: none, canary, branchprot, shadowstack, pacstack-nomask, pacstack")
+	asm := flag.Bool("S", false, "print the generated assembly instead of running")
+	out := flag.String("o", "", "write the encoded binary image to this file instead of running")
+	gadgets := flag.Bool("gadgets", false, "print the static gadget census instead of running")
+	format := flag.Bool("fmt", false, "reformat the source to standard style and print it")
+	steps := flag.Uint64("steps", 10_000_000, "instruction budget when running")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := irtext.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *format {
+		fmt.Print(irtext.Format(prog))
+		return
+	}
+
+	img, err := compile.Compile(prog, parseScheme(*schemeName), compile.DefaultLayout())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case *asm:
+		fmt.Print(img.Prog.Disassemble())
+	case *out != "":
+		bin, err := isa.EncodeProgram(img.Prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, bin, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d bytes (%d instructions, %v) to %s\n",
+			len(bin), len(img.Prog.Instrs), img.Scheme, *out)
+	case *gadgets:
+		gs := gadget.UserCode(gadget.Scan(img.Prog, 0))
+		fmt.Printf("%v:\n%s", img.Scheme, gadget.Report(gs))
+	default:
+		run(img, *steps)
+	}
+}
+
+func run(img *compile.Image, steps uint64) {
+	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = proc.Run(steps)
+	if len(proc.Output) > 0 {
+		fmt.Printf("output: %q\n", proc.Output)
+	}
+	m := proc.Tasks[0].M
+	fmt.Printf("instructions: %d, cycles: %d\n", m.Instrs, m.Cycles)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	fmt.Printf("exit code: %d\n", proc.ExitCode)
+}
+
+func parseScheme(name string) compile.Scheme {
+	switch name {
+	case "none":
+		return compile.SchemeNone
+	case "canary":
+		return compile.SchemeCanary
+	case "branchprot":
+		return compile.SchemeBranchProtection
+	case "shadowstack":
+		return compile.SchemeShadowStack
+	case "pacstack-nomask":
+		return compile.SchemePACStackNoMask
+	case "pacstack":
+		return compile.SchemePACStack
+	}
+	log.Fatalf("unknown scheme %q", name)
+	return compile.SchemeNone
+}

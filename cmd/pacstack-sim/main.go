@@ -1,0 +1,216 @@
+// Command pacstack-sim assembles and runs a program on the simulated
+// machine, optionally with instruction tracing — the quickest way to
+// poke at the PA instructions and protection schemes interactively.
+//
+// With -demo it compiles a built-in demo program under the chosen
+// scheme and prints its disassembly and output. With a file argument
+// it assembles raw .s source (see internal/isa for the syntax) and
+// runs it under the kernel.
+//
+// Usage:
+//
+//	pacstack-sim -demo [-scheme pacstack] [-disasm] [-trace]
+//	pacstack-sim [-trace] program.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/ir"
+	"pacstack/internal/isa"
+	"pacstack/internal/kernel"
+	"pacstack/internal/mem"
+	"pacstack/internal/pa"
+	"pacstack/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pacstack-sim: ")
+	demo := flag.Bool("demo", false, "run the built-in demo program")
+	schemeName := flag.String("scheme", "pacstack", "protection scheme: none, canary, branchprot, shadowstack, pacstack-nomask, pacstack")
+	disasm := flag.Bool("disasm", false, "print the program disassembly before running")
+	traceFlag := flag.Bool("trace", false, "trace every retired instruction")
+	profile := flag.Bool("profile", false, "print a flat profile and dynamic call graph after the run")
+	encodeTo := flag.String("encode", "", "write the encoded binary image to this file instead of running")
+	steps := flag.Uint64("steps", 10_000_000, "instruction budget")
+	flag.Parse()
+
+	switch {
+	case *demo && *encodeTo != "":
+		encodeDemo(*schemeName, *encodeTo)
+	case *demo:
+		runDemo(*schemeName, *disasm, *traceFlag, *profile, *steps)
+	case flag.NArg() == 1:
+		runFile(flag.Arg(0), *disasm, *traceFlag, *profile, *steps)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// encodeDemo compiles the demo and writes the stripped binary image —
+// what the loader maps into the text segment.
+func encodeDemo(schemeName, path string) {
+	img, err := compile.Compile(demoProgram(), parseScheme(schemeName), compile.DefaultLayout())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin, err := isa.EncodeProgram(img.Prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, bin, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d bytes (%d instructions) to %s\n", len(bin), len(img.Prog.Instrs), path)
+}
+
+func parseScheme(name string) compile.Scheme {
+	switch name {
+	case "none":
+		return compile.SchemeNone
+	case "canary":
+		return compile.SchemeCanary
+	case "branchprot":
+		return compile.SchemeBranchProtection
+	case "shadowstack":
+		return compile.SchemeShadowStack
+	case "pacstack-nomask":
+		return compile.SchemePACStackNoMask
+	case "pacstack":
+		return compile.SchemePACStack
+	}
+	log.Fatalf("unknown scheme %q", name)
+	return compile.SchemeNone
+}
+
+func demoProgram() *ir.Program {
+	return &ir.Program{Entry: "main", Functions: []*ir.Function{
+		{Name: "main", Locals: 1, Body: []ir.Op{
+			ir.StoreLocal{Slot: 0, Value: 7},
+			ir.Loop{Count: 3, Body: []ir.Op{
+				ir.Call{Target: "greet"},
+			}},
+			ir.Write{Byte: '\n'},
+		}},
+		{Name: "greet", Body: []ir.Op{
+			ir.Write{Byte: 'h'}, ir.Write{Byte: 'i'}, ir.Write{Byte: ' '},
+			ir.Call{Target: "leaf"},
+		}},
+		{Name: "leaf", Body: []ir.Op{ir.Compute{Units: 4}}},
+	}}
+}
+
+func runDemo(schemeName string, disasm, traceFlag, profile bool, steps uint64) {
+	scheme := parseScheme(schemeName)
+	img, err := compile.Compile(demoProgram(), scheme, compile.DefaultLayout())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if disasm {
+		fmt.Println(img.Prog.Disassemble())
+	}
+	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	attachTrace(proc, traceFlag)
+	runProc(proc, profile, steps)
+}
+
+func runFile(path string, disasm, traceFlag, profile bool, steps uint64) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l := compile.DefaultLayout()
+	var prog *isa.Program
+	var codeBase, stackTop uint64
+	if strings.HasSuffix(path, ".bin") {
+		// A stripped binary image, as produced by -encode: its branch
+		// targets are absolute, so it loads at the standard layout's
+		// code base with the standard data segments mapped.
+		codeBase, stackTop = l.CodeBase, l.StackTop()
+		prog, err = isa.DecodeProgram(codeBase, src)
+	} else {
+		codeBase, stackTop = 0x10000, 0x110000
+		prog, err = isa.Assemble(codeBase, string(src))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if disasm {
+		fmt.Println(prog.Disassemble())
+	}
+	m := mem.New()
+	codeLen := (prog.Size()/mem.PageSize + 1) * mem.PageSize
+	if err := m.Map(codeBase, codeLen, mem.PermRX); err != nil {
+		log.Fatal(err)
+	}
+	if strings.HasSuffix(path, ".bin") {
+		for _, seg := range [][2]uint64{
+			{l.GlobalsBase, mem.PageSize},
+			{l.ShadowBase, l.ShadowSize},
+			{l.StackBase, l.StackSize},
+		} {
+			if err := m.Map(seg[0], seg[1], mem.PermRW); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else {
+		if err := m.Map(0x100000, 0x10000, mem.PermRW); err != nil {
+			log.Fatal(err)
+		}
+	}
+	entry := prog.Base
+	if a, ok := prog.Lookup("_start"); ok {
+		entry = a
+	} else if a, ok := prog.Lookup("main"); ok {
+		entry = a
+	}
+	proc := kernel.New(pa.DefaultConfig()).NewProcess(prog, m, entry, stackTop)
+	attachTrace(proc, traceFlag)
+	runProc(proc, profile, steps)
+}
+
+func attachTrace(proc *kernel.Process, traceFlag bool) {
+	if !traceFlag {
+		return
+	}
+	for _, t := range proc.Tasks {
+		m := t.M
+		m.Trace = func(pc uint64, ins isa.Instr) {
+			sym, off := m.Prog.SymbolFor(pc)
+			fmt.Fprintf(os.Stderr, "%#08x %-16s %s\n", pc, fmt.Sprintf("<%s+%d>", sym, off), ins)
+		}
+	}
+}
+
+func runProc(proc *kernel.Process, profile bool, steps uint64) {
+	var prof *trace.Profiler
+	if profile {
+		prof = trace.AttachProfiler(proc.Tasks[0].M)
+	}
+	err := proc.Run(steps)
+	if prof != nil {
+		fmt.Println("flat profile:")
+		fmt.Print(prof.Report())
+		fmt.Println("dynamic call graph:")
+		fmt.Print(prof.CallGraph())
+	}
+	if len(proc.Output) > 0 {
+		fmt.Printf("output: %q\n", proc.Output)
+	}
+	m := proc.Tasks[0].M
+	fmt.Printf("instructions: %d, cycles: %d\n", m.Instrs, m.Cycles)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	fmt.Printf("exit code: %d\n", proc.ExitCode)
+}

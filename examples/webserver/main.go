@@ -1,0 +1,44 @@
+// webserver: the NGINX SSL-TPS experiment (Section 7.2, Table 3) as a
+// runnable demo: simulate a TLS-terminating worker pool serving
+// handshake-heavy connections under the baseline, PACStack-nomask and
+// PACStack, and print the throughput table next to the paper's.
+//
+// Run with: go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/cpu"
+	"pacstack/internal/harness"
+	"pacstack/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("Simulating an NGINX-style TLS worker pool (ECDHE-RSA handshakes,")
+	fmt.Println("zero-byte responses, CPU-bound — the paper's SSL TPS setup).")
+	fmt.Println()
+
+	cm := cpu.DefaultCostModel()
+	cfg := workload.DefaultNginxConfig()
+	for _, s := range []compile.Scheme{
+		compile.SchemeNone, compile.SchemePACStackNoMask, compile.SchemePACStack,
+	} {
+		r, err := workload.RunNginx(s, cfg, cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-26s %9.0f cycles/connection  -> %7.0f req/s on %d workers\n",
+			s, r.CyclesPerReq, r.RequestsPerSec, cfg.Workers)
+	}
+	fmt.Println()
+
+	rows, err := workload.Table3(cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(harness.Table3(rows))
+}

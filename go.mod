@@ -1,0 +1,3 @@
+module pacstack
+
+go 1.22

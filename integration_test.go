@@ -1,0 +1,114 @@
+// Root-level end-to-end test: source text through the whole toolchain
+// — parse, compile under two schemes, load, execute, attack — in one
+// scenario. `go test .` exercises the full stack in seconds.
+package pacstack
+
+import (
+	"strings"
+	"testing"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/irtext"
+	"pacstack/internal/isa"
+	"pacstack/internal/kernel"
+	"pacstack/internal/mem"
+	"pacstack/internal/pa"
+)
+
+const victimSrc = `
+entry main
+
+func main {
+    call handle
+    write 'o'
+    write 'k'
+}
+
+func handle locals 2 {
+    store 0, 17
+    call parse
+    assert 0, 17
+}
+
+func parse locals 4 {
+    store 0, 34
+    call leaf
+}
+
+func gadget {
+    write 'P'
+    write 'W'
+    write 'N'
+    exit 66
+}
+
+func leaf {
+    compute 8
+}
+`
+
+func boot(t *testing.T, scheme compile.Scheme) (*compile.Image, *kernel.Process) {
+	t.Helper()
+	prog, err := irtext.Parse(victimSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := compile.Compile(prog, scheme, compile.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, proc
+}
+
+func smash(img *compile.Image, proc *kernel.Process) {
+	adv := mem.NewAdversary(proc.Mem)
+	m := proc.Tasks[0].M
+	fired := false
+	m.Trace = func(pc uint64, ins isa.Instr) {
+		if pc == img.FuncEntries["leaf"] && !fired {
+			fired = true
+			sp := m.Reg(isa.SP)
+			for off := uint64(0); off < 96; off += 8 {
+				_ = adv.Poke(sp+off, img.FuncEntries["gadget"])
+			}
+		}
+	}
+}
+
+func TestEndToEndBaselineFallsPACStackHolds(t *testing.T) {
+	// Benign run under both schemes: identical observable behaviour.
+	for _, s := range []compile.Scheme{compile.SchemeNone, compile.SchemePACStack} {
+		_, proc := boot(t, s)
+		if err := proc.Run(1_000_000); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if got := string(proc.Output); got != "ok" {
+			t.Fatalf("%v: output %q", s, got)
+		}
+	}
+
+	// Under attack: the baseline is hijacked to the gadget...
+	img, proc := boot(t, compile.SchemeNone)
+	smash(img, proc)
+	if err := proc.Run(1_000_000); err != nil {
+		t.Fatalf("baseline attack run: %v", err)
+	}
+	if proc.ExitCode != 66 || !strings.Contains(string(proc.Output), "PWN") {
+		t.Fatalf("baseline not hijacked: exit %d output %q", proc.ExitCode, proc.Output)
+	}
+
+	// ...while PACStack turns the same writes into a fault.
+	img, proc = boot(t, compile.SchemePACStack)
+	smash(img, proc)
+	err := proc.Run(1_000_000)
+	if err == nil {
+		t.Fatalf("PACStack run completed: exit %d output %q", proc.ExitCode, proc.Output)
+	}
+	if strings.Contains(string(proc.Output), "PWN") {
+		t.Fatal("gadget output leaked before the fault")
+	}
+}

@@ -1,0 +1,348 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/stats"
+)
+
+func TestTable1OnGraph(t *testing.T) {
+	cfg := Table1Config{Bits: 8, Harvest: 96, Trials: 1500, Seed: 42}
+	// Without masking, harvesting 96 tokens at b=8 yields a collision
+	// with probability ~1 - e^(-96^2/512) ~ 1, and any found
+	// collision is exploitable.
+	cell := measureCell(cfg, OnGraph, false)
+	if cell.Measured.Rate() < 0.95 {
+		t.Errorf("unmasked on-graph success %v, want ~1", cell.Measured)
+	}
+	// With masking the adversary is reduced to 2^-8 ~ 0.004.
+	cell = measureCell(cfg, OnGraph, true)
+	lo, hi := cell.Measured.Wilson(1.96)
+	if lo > 0.004 || hi < 0.004 {
+		// Allow an order of magnitude of slack before failing hard;
+		// Monte-Carlo noise at p=2^-8 with 1500 trials is visible.
+		if cell.Measured.Rate() > 0.02 {
+			t.Errorf("masked on-graph success %v, want ~2^-8", cell.Measured)
+		}
+	}
+}
+
+func TestTable1OffGraphCallSite(t *testing.T) {
+	cfg := Table1Config{Bits: 6, Harvest: 8, Trials: 6000, Seed: 7}
+	want := math.Exp2(-6)
+	for _, masked := range []bool{false, true} {
+		cell := measureCell(cfg, OffGraphCallSite, masked)
+		lo, hi := cell.Measured.Wilson(2.6)
+		if want < lo || want > hi {
+			t.Errorf("masked=%v: off-graph call-site %v, want ~%.4g", masked, cell.Measured, want)
+		}
+	}
+}
+
+func TestTable1OffGraphArbitrary(t *testing.T) {
+	cfg := Table1Config{Bits: 3, Harvest: 8, Trials: 20000, Seed: 9}
+	want := math.Exp2(-6) // 2^-2b with b=3
+	for _, masked := range []bool{false, true} {
+		cell := measureCell(cfg, OffGraphArbitrary, masked)
+		lo, hi := cell.Measured.Wilson(2.6)
+		if want < lo || want > hi {
+			t.Errorf("masked=%v: off-graph arbitrary %v, want ~%.4g", masked, cell.Measured, want)
+		}
+	}
+}
+
+func TestTable1FullGrid(t *testing.T) {
+	cells := Table1(Table1Config{Bits: 6, Harvest: 48, Trials: 300, Seed: 3})
+	if len(cells) != 6 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Measured.Trials != 300 {
+			t.Errorf("%v masked=%v: trials %d", c.Kind, c.Masked, c.Measured.Trials)
+		}
+		if c.Expected <= 0 || c.Expected > 1 {
+			t.Errorf("%v: expected %g out of range", c.Kind, c.Expected)
+		}
+	}
+	// The structural claim of Table 1: masking collapses the on-graph
+	// row, and the off-graph rows are unaffected by masking.
+	byKey := map[string]Table1Cell{}
+	for _, c := range cells {
+		byKey[c.Kind.String()+b2s(c.Masked)] = c
+	}
+	on0 := byKey[OnGraph.String()+"u"]
+	on1 := byKey[OnGraph.String()+"m"]
+	if on0.Measured.Rate() < 10*on1.Measured.Rate() {
+		t.Errorf("masking did not collapse on-graph success: %v vs %v",
+			on0.Measured, on1.Measured)
+	}
+}
+
+func b2s(m bool) string {
+	if m {
+		return "m"
+	}
+	return "u"
+}
+
+func TestMaskedCollisionAblation(t *testing.T) {
+	// Under the literal Listing 3 semantics the visible masked-token
+	// collisions are exploitable, so the measured rate tracks the
+	// birthday bound rather than 2^-b. This test pins the documented
+	// discrepancy.
+	res := MaskedCollisionAblation(8, 96, 400, 11)
+	if res.Rate() < 0.9 {
+		t.Errorf("ablation rate %v; expected near-certain visible-collision exploitation", res)
+	}
+}
+
+func TestBirthdayMatchesClosedForm(t *testing.T) {
+	res := Birthday(12, 150, 5)
+	// Mean draws should track sqrt(pi*2^b/2) ~ 80.2 for b=12 within
+	// Monte-Carlo noise (stddev of the birthday distribution is
+	// ~0.52 * mean).
+	if math.Abs(res.MeanDraws-res.ExpectedDraws)/res.ExpectedDraws > 0.15 {
+		t.Errorf("mean draws %.1f vs expected %.1f", res.MeanDraws, res.ExpectedDraws)
+	}
+	// The collision probability at the expected count is ~54%.
+	p := res.CollisionProbAt.Rate()
+	if p < 0.4 || p > 0.7 {
+		t.Errorf("collision prob at bound = %v", res.CollisionProbAt)
+	}
+}
+
+func TestBirthday16Headline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("b=16 harvest is slow in -short mode")
+	}
+	// The paper's headline number: ~321 tokens at b=16.
+	res := Birthday(16, 40, 6)
+	if math.Abs(res.ExpectedDraws-320.87) > 0.5 {
+		t.Errorf("closed form = %.2f", res.ExpectedDraws)
+	}
+	if res.MeanDraws < 240 || res.MeanDraws > 400 {
+		t.Errorf("measured mean draws %.1f, want ~321", res.MeanDraws)
+	}
+}
+
+func TestBruteForceForkedVsReseeded(t *testing.T) {
+	const bits = 6 // 2^6 = 64 guesses per stage
+	forked := BruteForce(ForkedSiblings, bits, 400, 21)
+	reseeded := BruteForce(ReseededSiblings, bits, 400, 22)
+
+	// Section 4.3: enumeration across siblings costs ~2^b total;
+	// re-seeding doubles it to ~2^(b+1).
+	if math.Abs(forked.MeanGuesses-forked.ExpectedGuesses)/forked.ExpectedGuesses > 0.25 {
+		t.Errorf("forked mean %.1f vs expected %.1f", forked.MeanGuesses, forked.ExpectedGuesses)
+	}
+	if math.Abs(reseeded.MeanGuesses-reseeded.ExpectedGuesses)/reseeded.ExpectedGuesses > 0.25 {
+		t.Errorf("reseeded mean %.1f vs expected %.1f", reseeded.MeanGuesses, reseeded.ExpectedGuesses)
+	}
+	if reseeded.MeanGuesses < 1.5*forked.MeanGuesses {
+		t.Errorf("re-seeding did not raise the guessing cost: %.1f vs %.1f",
+			reseeded.MeanGuesses, forked.MeanGuesses)
+	}
+}
+
+func TestBruteForceRestarting(t *testing.T) {
+	const bits = 3 // 2^6 = 64 expected full restarts
+	res := BruteForce(RestartingVictim, bits, 300, 23)
+	if math.Abs(res.MeanGuesses-res.ExpectedGuesses)/res.ExpectedGuesses > 0.3 {
+		t.Errorf("restarting mean %.1f vs expected %.1f", res.MeanGuesses, res.ExpectedGuesses)
+	}
+}
+
+func TestTheoreticalGuessCurve(t *testing.T) {
+	curve := TheoreticalGuessCurve(16, []float64{0.5})
+	if math.Abs(curve[0]-65536*math.Ln2) > 10 {
+		t.Errorf("curve = %v", curve)
+	}
+}
+
+func TestReuseAttackMatrix(t *testing.T) {
+	results, err := ReuseAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[compile.Scheme]ReuseResult{}
+	for _, r := range results {
+		byScheme[r.Scheme] = r
+	}
+	// Section 6.1: SP-modifier signing and weaker schemes fall to the
+	// reuse attack...
+	for _, s := range []compile.Scheme{
+		compile.SchemeNone,
+		compile.SchemeCanary,
+		compile.SchemeBranchProtection,
+		compile.SchemeShadowStack, // location known => rewritable
+	} {
+		if !byScheme[s].Hijacked {
+			t.Errorf("%v: reuse attack should succeed, got %v", s, byScheme[s])
+		}
+	}
+	// The stateless static-CFI comparator detects this particular
+	// transfer (the target is not a valid return site for B), though
+	// it remains bendable — see TestControlFlowBendingMatrix.
+	if !byScheme[compile.SchemeStaticCFI].Crashed {
+		t.Errorf("static CFI: %v, want detection", byScheme[compile.SchemeStaticCFI])
+	}
+	// ...while both PACStack variants resist it: the chain value is
+	// path-specific, so there is nothing interchangeable to splice.
+	for _, s := range []compile.Scheme{compile.SchemePACStackNoMask, compile.SchemePACStack} {
+		r := byScheme[s]
+		if r.Hijacked {
+			t.Errorf("%v: reuse attack hijacked control flow", s)
+		}
+		if r.Crashed {
+			t.Errorf("%v: benign-value splice should be a no-op, not a crash", s)
+		}
+		if r.Output != "ab" {
+			t.Errorf("%v: output %q", s, r.Output)
+		}
+	}
+}
+
+func TestTailCallGadgetDetected(t *testing.T) {
+	for _, s := range []compile.Scheme{compile.SchemePACStack, compile.SchemePACStackNoMask} {
+		res, err := TailCallGadget(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Detected {
+			t.Errorf("%v: corrupted aret before tail call not detected: %v", s, res)
+		}
+	}
+	// Baseline control: the same corruption hijacks or crashes the
+	// unprotected binary only by accident; with a raw return address
+	// of 0x4141.. it faults too, but importantly PACStack's detection
+	// is by authentication, exercised above.
+	res, err := TailCallGadget(compile.SchemeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res // outcome is scheme-dependent; no assertion
+}
+
+func TestViolationKindStrings(t *testing.T) {
+	if OnGraph.String() == "" || OffGraphCallSite.String() == "" || OffGraphArbitrary.String() == "" {
+		t.Error("empty violation names")
+	}
+	if (ReuseResult{Scheme: compile.SchemePACStack}).String() == "" {
+		t.Error("empty reuse result")
+	}
+	if (GadgetResult{Scheme: compile.SchemePACStack, Detected: true}).String() == "" {
+		t.Error("empty gadget result")
+	}
+	for _, g := range []GuessingStrategy{RestartingVictim, ForkedSiblings, ReseededSiblings} {
+		if g.String() == "" {
+			t.Error("empty strategy name")
+		}
+	}
+}
+
+func TestExpectedProbabilities(t *testing.T) {
+	if expected(8, OnGraph, false) != 1 {
+		t.Error("on-graph unmasked should be 1")
+	}
+	if expected(8, OnGraph, true) != math.Exp2(-8) {
+		t.Error("on-graph masked should be 2^-b")
+	}
+	if expected(8, OffGraphCallSite, true) != math.Exp2(-8) {
+		t.Error("off-graph call-site should be 2^-b")
+	}
+	if expected(8, OffGraphArbitrary, false) != math.Exp2(-16) {
+		t.Error("off-graph arbitrary should be 2^-2b")
+	}
+}
+
+func TestWilsonUsedSanely(t *testing.T) {
+	b := stats.Binomial{Successes: 3, Trials: 1000}
+	lo, hi := b.Wilson(1.96)
+	if lo > b.Rate() || hi < b.Rate() {
+		t.Error("interval excludes estimate")
+	}
+}
+
+func TestGuessOnMachineAlwaysCrashes(t *testing.T) {
+	res, err := GuessOnMachine(150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PACBits != 16 {
+		t.Errorf("PAC width %d, want 16", res.PACBits)
+	}
+	// Each wrong guess (p = 1 - 2^-16) must crash the process; a
+	// single hijack in 150 trials would be a 2^-16-scale miracle.
+	if res.Crashes.Successes != res.Crashes.Trials {
+		t.Errorf("crashes %v; guessing should be hopeless at b=16", res.Crashes)
+	}
+	if res.Hijacks != 0 {
+		t.Errorf("%d hijacks", res.Hijacks)
+	}
+}
+
+func TestExpiredJmpBufReplayIsTheDocumentedGap(t *testing.T) {
+	// Section 9.1: longjmp through an expired jmp_buf is undefined
+	// behaviour that PACStack's wrapper cannot detect — the replay
+	// must *succeed*, reproducing the documented limitation.
+	res, err := ExpiredJmpBuf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crash {
+		t.Fatal("replay crashed; expected the documented acceptance")
+	}
+	if !res.Reused || res.Output != "f1gH" {
+		t.Errorf("replay result %+v; expected control at the stale setjmp site", res)
+	}
+	// And the paper's mitigation — frame-by-frame validated unwinding
+	// from the live chain — rejects the same replay.
+	if ValidatedUnwindRejectsReplay() {
+		t.Error("validated unwinding accepted the stale snapshot")
+	}
+}
+
+func TestControlFlowBendingMatrix(t *testing.T) {
+	results, err := BendingAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[compile.Scheme]BendingResult{}
+	for _, r := range results {
+		by[r.Scheme] = r
+	}
+	// Section 6.3: even fully-precise static CFI permits bending
+	// between valid return sites of the same function...
+	for _, s := range []compile.Scheme{compile.SchemeNone, compile.SchemeStaticCFI} {
+		if !by[s].Bent {
+			t.Errorf("%v: bending should succeed, got %v", s, by[s])
+		}
+	}
+	// ...while the stateful PACStack chain pins each return to its
+	// own activation.
+	for _, s := range []compile.Scheme{compile.SchemePACStackNoMask, compile.SchemePACStack} {
+		r := by[s]
+		if r.Bent || r.Crashed {
+			t.Errorf("%v: %v; the overwrite should be a no-op", s, r)
+		}
+		if r.Output != "u1u2" {
+			t.Errorf("%v: output %q", s, r.Output)
+		}
+	}
+}
+
+func TestStaticCFIBlocksCrossFunctionReuse(t *testing.T) {
+	// The flip side: the reuse attack of Section 6.1 redirects B's
+	// return to a site following a call to A — NOT a valid site for
+	// B — so even the stateless policy catches that particular
+	// transfer. Bending is what it cannot catch.
+	r, err := ReuseSPModifier(compile.SchemeStaticCFI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Crashed {
+		t.Errorf("static CFI missed the cross-function reuse: %v", r)
+	}
+}

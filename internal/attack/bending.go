@@ -1,0 +1,128 @@
+package attack
+
+import (
+	"fmt"
+	"strings"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/ir"
+	"pacstack/internal/isa"
+	"pacstack/internal/kernel"
+	"pacstack/internal/mem"
+	"pacstack/internal/pa"
+)
+
+// BendingResult reports the Section 6.3 control-flow bending probe.
+type BendingResult struct {
+	Scheme compile.Scheme
+	// Bent is true when the victim's return was redirected from one
+	// valid return site to another valid return site of the same
+	// function — the violation stateless CFI cannot express.
+	Bent    bool
+	Crashed bool
+	Output  string
+}
+
+// String renders the outcome.
+func (r BendingResult) String() string {
+	switch {
+	case r.Bent:
+		return fmt.Sprintf("%-26s BENT (output %q)", r.Scheme, r.Output)
+	case r.Crashed:
+		return fmt.Sprintf("%-26s detected (crash)", r.Scheme)
+	default:
+		return fmt.Sprintf("%-26s ineffective (output %q)", r.Scheme, r.Output)
+	}
+}
+
+// bendingProgram gives util two legitimate callers; both return sites
+// are valid for util under any stateless policy.
+func bendingProgram() *ir.Program {
+	return &ir.Program{Entry: "main", Functions: []*ir.Function{
+		{Name: "main", Body: []ir.Op{
+			ir.Call{Target: "util"}, // site 1
+			ir.Write{Byte: '1'},
+			ir.Call{Target: "util"}, // site 2
+			ir.Write{Byte: '2'},
+		}},
+		{Name: "util", Body: []ir.Op{ir.Call{Target: "leaf"}, ir.Write{Byte: 'u'}}},
+		{Name: "leaf", Body: []ir.Op{ir.Compute{Units: 1}}},
+	}}
+}
+
+// ControlFlowBending redirects util's first return from site 1 to
+// site 2 — both statically valid return sites for util. Fully-precise
+// static CFI permits the transfer by construction ("all stateless CFI
+// schemes are vulnerable to control-flow bending", Section 6.3);
+// PACStack's chained token binds the return to this activation's
+// path, so the same overwrite is caught.
+func ControlFlowBending(scheme compile.Scheme) (BendingResult, error) {
+	img, err := compile.Compile(bendingProgram(), scheme, compile.DefaultLayout())
+	if err != nil {
+		return BendingResult{}, err
+	}
+	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	if err != nil {
+		return BendingResult{}, err
+	}
+	adv := mem.NewAdversary(proc.Mem)
+	m := proc.Tasks[0].M
+
+	// Site 2 is the instruction after main's second BL to util.
+	var sites []uint64
+	for i, ins := range img.Prog.Instrs {
+		if ins.Op == isa.BL && ins.Target == img.FuncEntries["util"] {
+			sites = append(sites, img.Prog.Base+uint64(i+1)*isa.InstrSize)
+		}
+	}
+	if len(sites) != 2 {
+		return BendingResult{}, fmt.Errorf("attack: expected 2 call sites, found %d", len(sites))
+	}
+
+	fired := false
+	m.Trace = func(pc uint64, ins isa.Instr) {
+		if pc == img.FuncEntries["leaf"] && !fired {
+			fired = true
+			// util's frame is live; sweep its saved area, bending
+			// every stored return-address candidate to site 2. Under
+			// PACStack the trusted copy is in CR and the chain slot,
+			// neither of which this can usefully forge.
+			sp := m.Reg(isa.SP)
+			for off := uint64(0); off < 48; off += 8 {
+				if v, err := adv.Peek(sp + off); err == nil && v == sites[0] {
+					_ = adv.Poke(sp+off, sites[1])
+				}
+			}
+		}
+	}
+
+	res := BendingResult{Scheme: scheme}
+	if err := proc.Run(1_000_000); err != nil {
+		res.Crashed = true
+		return res, nil
+	}
+	res.Output = string(proc.Output)
+	// Bent control flow skips the '1': the first util returns to site
+	// 2 directly.
+	res.Bent = strings.HasPrefix(res.Output, "u2")
+	return res, nil
+}
+
+// BendingAll runs the probe across the schemes the Section 6.3
+// comparison contrasts.
+func BendingAll() ([]BendingResult, error) {
+	var out []BendingResult
+	for _, s := range []compile.Scheme{
+		compile.SchemeNone,
+		compile.SchemeStaticCFI,
+		compile.SchemePACStackNoMask,
+		compile.SchemePACStack,
+	} {
+		r, err := ControlFlowBending(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+
+	"pacstack/internal/core"
+)
+
+// GuessingStrategy names the victim configurations of Section 4.3.
+type GuessingStrategy int
+
+// The three configurations compared in Section 4.3.
+const (
+	// RestartingVictim: a failed guess crashes the process and the
+	// next run uses a fresh key, so nothing carries over — the
+	// adversary needs log(1-p)/log(1-2^-b) guesses for success
+	// probability p, and both stages must land in one run: ~2^2b.
+	RestartingVictim GuessingStrategy = iota
+	// ForkedSiblings: pre-forked workers share the key; a failed
+	// guess only kills one sibling, so the adversary can enumerate
+	// token values stage by stage — divide and conquer, ~2^b total.
+	ForkedSiblings
+	// ReseededSiblings: workers share the key but each re-seeds its
+	// ACS chain (Section 4.3), so guesses do not transfer across
+	// siblings within a stage; each stage is geometric with mean 2^b
+	// and the two stages add: ~2^(b+1).
+	ReseededSiblings
+)
+
+// String names the strategy.
+func (g GuessingStrategy) String() string {
+	switch g {
+	case RestartingVictim:
+		return "restart-per-guess (fresh key)"
+	case ForkedSiblings:
+		return "pre-forked siblings (shared key)"
+	case ReseededSiblings:
+		return "pre-forked siblings with ACS re-seeding"
+	}
+	return "unknown"
+}
+
+// BruteForceResult reports measured guessing cost for one strategy.
+type BruteForceResult struct {
+	Strategy GuessingStrategy
+	Bits     int
+	// MeanGuesses is the average number of guesses (across both
+	// stages) until the adversary lands an arbitrary jump.
+	MeanGuesses float64
+	// ExpectedGuesses is the paper's figure: 2^2b, 2^b, or 2^(b+1).
+	ExpectedGuesses float64
+	Trials          int
+}
+
+// BruteForce measures the expected number of guesses to redirect a
+// return to an arbitrary address under each victim configuration.
+//
+// The underlying two-stage structure is the one described in Section
+// 4.3: the adversary first needs some (pointer, token) combination
+// accepted against a known modifier (stage 1); the accepted value
+// becomes the next modifier, against which the final target must be
+// accepted (stage 2).
+func BruteForce(strategy GuessingStrategy, bits, trials int, seed int64) BruteForceResult {
+	rng := rand.New(rand.NewSource(seed))
+	res := BruteForceResult{Strategy: strategy, Bits: bits, Trials: trials}
+	space := 1 << uint(bits)
+
+	switch strategy {
+	case RestartingVictim:
+		res.ExpectedGuesses = float64(space) * float64(space)
+	case ForkedSiblings:
+		res.ExpectedGuesses = float64(space)
+	case ReseededSiblings:
+		res.ExpectedGuesses = 2 * float64(space)
+	}
+
+	var total float64
+	for t := 0; t < trials; t++ {
+		total += float64(bruteForceTrial(strategy, bits, rng))
+	}
+	res.MeanGuesses = total / float64(trials)
+	return res
+}
+
+func bruteForceTrial(strategy GuessingStrategy, bits int, rng *rand.Rand) int {
+	space := uint64(1) << uint(bits)
+	guesses := 0
+
+	newVictim := func() (*core.Stack, uint64) {
+		mac := core.NewQarmaMAC(rng.Uint64(), rng.Uint64(), bits)
+		s := core.New(mac, core.Config{Mask: true, Seed: rng.Uint64()})
+		return s, rng.Uint64() & 0xFFFF_FFFF_FFFF // stage-1 target site
+	}
+
+	switch strategy {
+	case RestartingVictim:
+		// Every guess runs against a fresh key; the whole two-stage
+		// forgery must succeed in a single run. Each run, the
+		// adversary guesses both tokens at once: success 2^-2b.
+		for {
+			s, site := newVictim()
+			guesses++
+			mod := rng.Uint64() // some observed modifier in this run
+			g1 := rng.Uint64() % space
+			g2 := rng.Uint64() % space
+			forged1 := g1<<48 | site
+			ok1 := s.Aret(site, mod) == forged1
+			target := uint64(0xBAD000)
+			ok2 := core.Auth(s.Aret(target, forged1)) == g2
+			if ok1 && ok2 {
+				return guesses
+			}
+		}
+
+	case ForkedSiblings:
+		// One key for all siblings. The true stage-1 token is a fixed
+		// unknown value the adversary can enumerate, one guess per
+		// killed sibling; then the same for stage 2.
+		s, site := newVictim()
+		mod := rng.Uint64()
+		truth1 := core.Auth(s.Aret(site, mod))
+		for g := uint64(0); ; g++ {
+			guesses++
+			if g == truth1 {
+				break
+			}
+		}
+		forged1 := truth1<<48 | site
+		truth2 := core.Auth(s.Aret(0xBAD000, forged1))
+		for g := uint64(0); ; g++ {
+			guesses++
+			if g == truth2 {
+				break
+			}
+		}
+		return guesses
+
+	default: // ReseededSiblings
+		// Every sibling re-seeds its chain, so each guess faces an
+		// independent token: a geometric stage with mean 2^b. A
+		// stage-1 success yields a valid modifier in a *live* sibling
+		// whose state can be reached again (forking from the
+		// compromised worker), so stage 2 is another geometric run
+		// rather than a restart of everything.
+		for stage := 0; stage < 2; stage++ {
+			for {
+				guesses++
+				s, site := newVictim() // fresh seed per sibling
+				mod := rng.Uint64()
+				if core.Auth(s.Aret(site, mod)) == rng.Uint64()%space {
+					break
+				}
+			}
+		}
+		return guesses
+	}
+}
+
+// TheoreticalGuessCurve returns the Section 4.3 closed form: the
+// number of guesses needed to reach success probability p against a
+// restarting victim with b-bit tokens.
+func TheoreticalGuessCurve(bits int, ps []float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = math.Log1p(-p) / math.Log1p(-math.Exp2(-float64(bits)))
+	}
+	return out
+}

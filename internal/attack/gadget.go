@@ -1,0 +1,99 @@
+package attack
+
+import (
+	"fmt"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/ir"
+	"pacstack/internal/isa"
+	"pacstack/internal/kernel"
+	"pacstack/internal/mem"
+	"pacstack/internal/pa"
+)
+
+// GadgetResult reports the Section 6.3.1 tail-call signing-gadget
+// probe.
+type GadgetResult struct {
+	Scheme compile.Scheme
+	// Detected is true when the corrupted chain value injected before
+	// the tail call was caught (the process crashed at the eventual
+	// return) rather than laundered into a valid signature.
+	Detected bool
+	Output   string
+}
+
+// String renders the outcome.
+func (r GadgetResult) String() string {
+	if r.Detected {
+		return fmt.Sprintf("%-26s corrupted aret detected at return", r.Scheme)
+	}
+	return fmt.Sprintf("%-26s NOT detected (output %q)", r.Scheme, r.Output)
+}
+
+// gadgetProgram sets up Listing 8: f ends in a tail call to g, so f's
+// epilogue authenticates the (possibly corrupted) aret_{i-1} and the
+// result flows through g's pacia — the aut->pac sequence of the
+// Project Zero signing gadget.
+func gadgetProgram() *ir.Program {
+	return &ir.Program{Entry: "main", Functions: []*ir.Function{
+		{Name: "main", Body: []ir.Op{
+			ir.Call{Target: "f"},
+			ir.Write{Byte: 'k'},
+		}},
+		{Name: "f", Body: []ir.Op{
+			ir.Call{Target: "leaf"},
+			ir.TailCall{Target: "g"},
+		}},
+		{Name: "g", Body: []ir.Op{
+			ir.Call{Target: "leaf"},
+			ir.Write{Byte: 'g'},
+		}},
+		{Name: "leaf", Body: []ir.Op{ir.Compute{Units: 1}}},
+	}}
+}
+
+// TailCallGadget corrupts the spilled aret_{i-1} in f's frame before
+// f's tail-call epilogue runs, then checks whether PACStack detects
+// the corruption when g returns.
+//
+// Per Section 6.3.1: f's epilogue authenticates the corrupted value,
+// poisoning LR; g's prologue re-signs the poisoned LR, which under
+// the PA semantics flips the well-known poison bit of the PAC; the
+// attacker cannot flip it back because the value lives in CR, so g's
+// return authentication fails and the process crashes — the gadget
+// cannot be used to launder signatures.
+func TailCallGadget(scheme compile.Scheme) (GadgetResult, error) {
+	img, err := compile.Compile(gadgetProgram(), scheme, compile.DefaultLayout())
+	if err != nil {
+		return GadgetResult{}, err
+	}
+	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	if err != nil {
+		return GadgetResult{}, err
+	}
+	adv := mem.NewAdversary(proc.Mem)
+	m := proc.Tasks[0].M
+
+	hook := firstBL(img, "f")
+	fired := false
+	m.Trace = func(pc uint64, ins isa.Instr) {
+		if pc == hook && !fired {
+			fired = true
+			// f's frame: the spilled chain value sits at [SP] under
+			// the PACStack layout, the frame record at [SP, #8] for
+			// the 16-byte baseline frames. Corrupt the slot the
+			// scheme actually trusts.
+			sp := m.Reg(isa.SP)
+			_ = adv.Poke(sp, 0x4141_4141_4141)
+			_ = adv.Poke(sp+8, 0x4141_4141_4141)
+		}
+	}
+
+	res := GadgetResult{Scheme: scheme}
+	if err := proc.Run(1_000_000); err != nil {
+		res.Detected = true
+		return res, nil
+	}
+	res.Output = string(proc.Output)
+	return res, nil
+}

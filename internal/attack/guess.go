@@ -1,0 +1,81 @@
+package attack
+
+import (
+	"math/rand"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/ir"
+	"pacstack/internal/isa"
+	"pacstack/internal/kernel"
+	"pacstack/internal/mem"
+	"pacstack/internal/pa"
+	"pacstack/internal/stats"
+)
+
+// GuessResult reports the on-machine guessing experiment.
+type GuessResult struct {
+	// PACBits is the hardware token width (16 under the default
+	// configuration).
+	PACBits int
+	// Crashes counts guesses that ended in a fault — the expected
+	// outcome with probability 1 - 2^-b per guess.
+	Crashes stats.Binomial
+	// Hijacks counts guesses that actually redirected control.
+	Hijacks int
+}
+
+// GuessOnMachine mounts the naive attack the paper's probabilistic
+// analysis assumes away from: the adversary overwrites a spilled,
+// PACStack-protected chain value with a guessed aret for a gadget
+// address, on the real simulated machine with the full 16-bit PAC.
+// Each wrong guess crashes the process (and a restarted process has
+// fresh keys), so the measured crash rate should be indistinguishable
+// from 1. This is the end-to-end counterpart of Table 1's 2^-b row.
+func GuessOnMachine(trials int, seed int64) (GuessResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	prog := &ir.Program{Entry: "main", Functions: []*ir.Function{
+		{Name: "main", Body: []ir.Op{ir.Call{Target: "f"}, ir.Write{Byte: 'k'}}},
+		{Name: "f", Body: []ir.Op{ir.Call{Target: "leaf"}}},
+		{Name: "gadget", Body: []ir.Op{ir.Write{Byte: 'G'}, ir.Exit{Code: 66}}},
+		{Name: "leaf", Body: []ir.Op{ir.Compute{Units: 1}}},
+	}}
+
+	res := GuessResult{}
+	for t := 0; t < trials; t++ {
+		img, err := compile.Compile(prog, compile.SchemePACStack, compile.DefaultLayout())
+		if err != nil {
+			return res, err
+		}
+		proc, err := img.Boot(kernel.New(pa.DefaultConfig())) // fresh keys per run
+		if err != nil {
+			return res, err
+		}
+		if res.PACBits == 0 {
+			res.PACBits = proc.Auth.PACBits()
+		}
+		adv := mem.NewAdversary(proc.Mem)
+		m := proc.Tasks[0].M
+		hook := firstBL(img, "f")
+		fired := false
+		pacMask := proc.Auth.PACMask()
+		m.Trace = func(pc uint64, ins isa.Instr) {
+			if pc == hook && !fired {
+				fired = true
+				// Forge an aret for the gadget: gadget address plus a
+				// uniformly guessed PAC field, spliced over the chain
+				// slot at [SP].
+				forged := img.FuncEntries["gadget"] | (rng.Uint64() & pacMask)
+				_ = adv.Poke(m.Reg(isa.SP), forged)
+			}
+		}
+		err = proc.Run(1_000_000)
+		res.Crashes.Trials++
+		switch {
+		case err != nil:
+			res.Crashes.Successes++
+		case proc.ExitCode == 66:
+			res.Hijacks++
+		}
+	}
+	return res, nil
+}

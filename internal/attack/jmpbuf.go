@@ -1,0 +1,96 @@
+package attack
+
+import (
+	"pacstack/internal/compile"
+	"pacstack/internal/core"
+	"pacstack/internal/ir"
+	"pacstack/internal/kernel"
+	"pacstack/internal/pa"
+)
+
+// ExpiredJmpBufResult reports the Section 9.1 expired-buffer replay.
+type ExpiredJmpBufResult struct {
+	// Reused is true when the longjmp through the expired jmp_buf
+	// transferred control back to the stale setjmp site.
+	Reused bool
+	Output string
+	Crash  bool
+}
+
+// ExpiredJmpBuf reproduces the residual weakness the paper documents
+// in Section 9.1: calling longjmp with an *expired* jmp_buf (after
+// the setjmp caller has returned) is undefined behaviour in C, and
+// PACStack's wrapper cannot detect it — the buffer's aret is bound to
+// the setjmp-time chain state and SP, both of which the (re-grown)
+// stack reproduces. The wrapper validates internal consistency, not
+// freshness.
+//
+// The mitigation the paper proposes — frame-by-frame validated
+// unwinding from the *current* chain state — rejects exactly this
+// replay; see the companion test using core.Unwind and the
+// __acs_validate runtime walk.
+func ExpiredJmpBuf() (ExpiredJmpBufResult, error) {
+	prog := &ir.Program{Entry: "main", Functions: []*ir.Function{
+		{Name: "main", Body: []ir.Op{
+			ir.Call{Target: "f"}, // f sets the buffer, then returns: buf expires
+			ir.Write{Byte: '1'},
+			ir.Call{Target: "g"}, // g longjmps through the expired buffer
+			ir.Write{Byte: '2'},
+		}},
+		{Name: "f", Body: []ir.Op{
+			ir.SetJmp{Buf: 0},
+			ir.IfNZ{Then: []ir.Op{
+				// The stale resumption point: reached only via the
+				// expired-buffer replay.
+				ir.Write{Byte: 'H'},
+				ir.Exit{Code: 66},
+			}},
+			ir.Write{Byte: 'f'},
+		}},
+		{Name: "g", Body: []ir.Op{
+			ir.Write{Byte: 'g'},
+			// g runs at the same stack depth as f did, so SP and the
+			// spilled chain value match the setjmp-time state — the
+			// situation the paper describes as exploitable.
+			ir.LongJmp{Buf: 0, Value: 1},
+			ir.Write{Byte: 'X'},
+		}},
+		{Name: "leaf", Body: []ir.Op{ir.Compute{Units: 1}}},
+	}}
+	img, err := compile.Compile(prog, compile.SchemePACStack, compile.DefaultLayout())
+	if err != nil {
+		return ExpiredJmpBufResult{}, err
+	}
+	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	if err != nil {
+		return ExpiredJmpBufResult{}, err
+	}
+	res := ExpiredJmpBufResult{}
+	if err := proc.Run(1_000_000); err != nil {
+		res.Crash = true
+		return res, nil
+	}
+	res.Output = string(proc.Output)
+	res.Reused = proc.ExitCode == 66
+	return res, nil
+}
+
+// ValidatedUnwindRejectsReplay is the core-level counterpart: the
+// same expired-state replay expressed against the abstract ACS, where
+// the Section 9.1 mitigation (unwinding frame by frame from the
+// current chain) detects that the snapshot no longer lies on the live
+// chain.
+func ValidatedUnwindRejectsReplay() (replayAccepted bool) {
+	s := core.New(core.NewRandomQarmaMAC(16), core.Config{Mask: true})
+	s.Push(0x1000) // main's frame
+	s.Push(0x2000) // f's frame
+	stale := s.Snapshot()
+	if _, err := s.Pop(); err != nil { // f returns: snapshot expires
+		panic(err)
+	}
+	s.Push(0x3000) // g's frame, same depth as f's was
+	// The validated unwind walks the *current* chain; the stale
+	// snapshot's aret is not on it (g's return address differs), so
+	// the replay is rejected.
+	return s.Unwind(stale) == nil
+}

@@ -1,0 +1,150 @@
+package attack
+
+import (
+	"fmt"
+	"strings"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/ir"
+	"pacstack/internal/isa"
+	"pacstack/internal/kernel"
+	"pacstack/internal/mem"
+	"pacstack/internal/pa"
+)
+
+// ReuseResult reports one run of the Section 6.1 reuse attack.
+type ReuseResult struct {
+	Scheme compile.Scheme
+	// Hijacked is true when B returned to A's return site.
+	Hijacked bool
+	// Crashed is true when the attack was detected (the process
+	// faulted instead of completing).
+	Crashed bool
+	Output  string
+}
+
+// String renders the outcome for the experiment table.
+func (r ReuseResult) String() string {
+	switch {
+	case r.Hijacked:
+		return fmt.Sprintf("%-26s HIJACKED (output %q)", r.Scheme, r.Output)
+	case r.Crashed:
+		return fmt.Sprintf("%-26s detected (crash)", r.Scheme)
+	default:
+		return fmt.Sprintf("%-26s ineffective (output %q)", r.Scheme, r.Output)
+	}
+}
+
+// reuseProgram is Listing 6: A and B are called from the same
+// function at the same stack depth, so SP-modifier schemes sign their
+// return addresses with identical modifiers.
+func reuseProgram() *ir.Program {
+	return &ir.Program{Entry: "main", Functions: []*ir.Function{
+		{Name: "main", Body: []ir.Op{
+			ir.Call{Target: "A"},
+			ir.Write{Byte: 'a'},
+			ir.Call{Target: "B"},
+			ir.Write{Byte: 'b'},
+		}},
+		{Name: "A", Body: []ir.Op{ir.Call{Target: "leaf"}}},
+		{Name: "B", Body: []ir.Op{ir.Call{Target: "leaf"}}},
+		{Name: "leaf", Body: []ir.Op{ir.Compute{Units: 1}}},
+	}}
+}
+
+// firstBL returns the address of the first BL instruction of fn: a
+// point where the prologue has certainly completed and SP addresses
+// the fresh frame.
+func firstBL(img *compile.Image, fn string) uint64 {
+	for addr := img.FuncEntries[fn]; ; addr += isa.InstrSize {
+		ins, err := img.Prog.At(addr)
+		if err != nil {
+			panic("attack: no call in " + fn)
+		}
+		if ins.Op == isa.BL {
+			return addr
+		}
+	}
+}
+
+// ReuseSPModifier mounts the Section 6.1 attack against the given
+// scheme: while A runs, the adversary records the protected return
+// address material in A's frame (and on the shadow stack); while B
+// runs, it splices the recorded values into B's frame. For SP-
+// modifier schemes the two signatures are interchangeable and B
+// returns to A's return site. For PACStack the spliced values are
+// either identical anyway (the chain slot) or ignored (the frame
+// record), and the attack has no effect.
+func ReuseSPModifier(scheme compile.Scheme) (ReuseResult, error) {
+	img, err := compile.Compile(reuseProgram(), scheme, compile.DefaultLayout())
+	if err != nil {
+		return ReuseResult{}, err
+	}
+	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	if err != nil {
+		return ReuseResult{}, err
+	}
+	adv := mem.NewAdversary(proc.Mem)
+	m := proc.Tasks[0].M
+
+	aHook := firstBL(img, "A")
+	bHook := firstBL(img, "B")
+	shadowSlot := img.Layout.ShadowBase + 8 // A's / B's shadow entry
+
+	var recorded []uint64 // frame words [SP..SP+32) captured in A
+	var shadowRec uint64
+	phase := 0
+	m.Trace = func(pc uint64, ins isa.Instr) {
+		switch {
+		case pc == aHook && phase == 0:
+			phase = 1
+			sp := m.Reg(isa.SP)
+			recorded = recorded[:0]
+			for off := uint64(0); off < 32; off += 8 {
+				if v, err := adv.Peek(sp + off); err == nil {
+					recorded = append(recorded, v)
+				} else {
+					recorded = append(recorded, 0)
+				}
+			}
+			shadowRec, _ = adv.Peek(shadowSlot)
+		case pc == bHook && phase == 1:
+			phase = 2
+			sp := m.Reg(isa.SP)
+			for i, v := range recorded {
+				// Splice A's frame words into B's frame. Unmapped or
+				// code addresses cannot occur here; ignore errors to
+				// keep the adversary generic.
+				_ = adv.Poke(sp+uint64(8*i), v)
+			}
+			if scheme == compile.SchemeShadowStack {
+				_ = adv.Poke(shadowSlot, shadowRec)
+			}
+		}
+	}
+
+	res := ReuseResult{Scheme: scheme}
+	if err := proc.Run(1_000_000); err != nil {
+		res.Crashed = true
+		return res, nil
+	}
+	res.Output = string(proc.Output)
+	// A hijacked B returns to the instruction after "Call A": the 'a'
+	// write runs twice before 'b'.
+	res.Hijacked = strings.HasPrefix(res.Output, "aa")
+	return res, nil
+}
+
+// ReuseAll runs the reuse attack against every scheme, the Section
+// 6.1 comparison.
+func ReuseAll() ([]ReuseResult, error) {
+	var out []ReuseResult
+	for _, s := range compile.Schemes {
+		r, err := ReuseSPModifier(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

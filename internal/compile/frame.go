@@ -1,0 +1,149 @@
+package compile
+
+import "pacstack/internal/isa"
+
+// This file emits the scheme-specific prologue and epilogue sequences.
+// The PACStack sequences follow paper Listings 2 (no masking) and 3
+// (masking) instruction for instruction; -mbranch-protection follows
+// Listing 1; ShadowCallStack matches the Clang AArch64 lowering
+// (X18-based parallel stack); the stack protector matches the classic
+// canary-below-frame-record layout.
+
+// pacFrameSize is the PACStack saved area: X28 at +0, padding at +8,
+// the unmodified frame record (FP, LR) at +16 — kept for debugger
+// compatibility exactly as Section 5 describes (requirement R3).
+const pacFrameSize = 32
+
+func (c *compiler) emitPrologue(fi *frameInfo) {
+	switch {
+	case fi.leaf:
+		// Leaf functions never spill LR; no scheme instruments them.
+		if fi.localSize > 0 {
+			c.i(isa.SUBI, func(i *isa.Instr) { i.Rd = isa.SP; i.Rn = isa.SP; i.Imm = fi.localSize })
+			c.emitCanaryStore(fi)
+		}
+	case fi.scheme == SchemePACStack, fi.scheme == SchemePACStackNoMask:
+		// str X28, [SP, #-32]!        ; stack <- aret_{i-1}
+		c.i(isa.STRPRE, func(i *isa.Instr) { i.Rd = isa.CR; i.Rn = isa.SP; i.Imm = -pacFrameSize })
+		// stp FP, LR, [SP, #16]       ; stack <- frame record
+		c.i(isa.STP, func(i *isa.Instr) { i.Rd = isa.FP; i.Rm = isa.LR; i.Rn = isa.SP; i.Imm = 16 })
+		c.i(isa.ADDI, func(i *isa.Instr) { i.Rd = isa.FP; i.Rn = isa.SP; i.Imm = 16 })
+		if fi.scheme == SchemePACStack {
+			// Listing 3: compute the masked authenticated return
+			// address; the mask pacia(0, aret_{i-1}) is cleared from
+			// X15 immediately after use.
+			c.i(isa.MOV, func(i *isa.Instr) { i.Rd = isa.X15; i.Rn = isa.XZR })
+			c.i(isa.PACIA, func(i *isa.Instr) { i.Rd = isa.LR; i.Rn = isa.CR })
+			c.i(isa.PACIA, func(i *isa.Instr) { i.Rd = isa.X15; i.Rn = isa.CR })
+			c.i(isa.EOR, func(i *isa.Instr) { i.Rd = isa.LR; i.Rn = isa.LR; i.Rm = isa.X15 })
+			c.i(isa.MOV, func(i *isa.Instr) { i.Rd = isa.X15; i.Rn = isa.XZR })
+		} else {
+			// Listing 2: unmasked aret_i.
+			c.i(isa.PACIA, func(i *isa.Instr) { i.Rd = isa.LR; i.Rn = isa.CR })
+		}
+		// mov X28, LR                 ; CR <- aret_i
+		c.i(isa.MOV, func(i *isa.Instr) { i.Rd = isa.CR; i.Rn = isa.LR })
+		if fi.localSize > 0 {
+			c.i(isa.SUBI, func(i *isa.Instr) { i.Rd = isa.SP; i.Rn = isa.SP; i.Imm = fi.localSize })
+		}
+	default:
+		if fi.scheme == SchemeBranchProtection {
+			c.i(isa.PACIASP, nil) // Listing 1: sign LR using SP
+		}
+		c.i(isa.STPPRE, func(i *isa.Instr) { i.Rd = isa.FP; i.Rm = isa.LR; i.Rn = isa.SP; i.Imm = -16 })
+		c.i(isa.MOV, func(i *isa.Instr) { i.Rd = isa.FP; i.Rn = isa.SP })
+		if fi.scheme == SchemeShadowStack {
+			// str LR, [X18], #8: push the return address to the
+			// shadow stack.
+			c.i(isa.STR, func(i *isa.Instr) { i.Rd = isa.LR; i.Rn = isa.SCS; i.Imm = 0 })
+			c.i(isa.ADDI, func(i *isa.Instr) { i.Rd = isa.SCS; i.Rn = isa.SCS; i.Imm = 8 })
+		}
+		if fi.localSize > 0 {
+			c.i(isa.SUBI, func(i *isa.Instr) { i.Rd = isa.SP; i.Rn = isa.SP; i.Imm = fi.localSize })
+			c.emitCanaryStore(fi)
+		}
+	}
+}
+
+// emitEpilogue restores the frame; emitReturn (or a tail branch)
+// follows it.
+func (c *compiler) emitEpilogue(fi *frameInfo) {
+	switch {
+	case fi.leaf:
+		if fi.localSize > 0 {
+			c.emitCanaryCheck(fi)
+			c.i(isa.ADDI, func(i *isa.Instr) { i.Rd = isa.SP; i.Rn = isa.SP; i.Imm = fi.localSize })
+		}
+	case fi.scheme == SchemePACStack, fi.scheme == SchemePACStackNoMask:
+		if fi.localSize > 0 {
+			c.i(isa.ADDI, func(i *isa.Instr) { i.Rd = isa.SP; i.Rn = isa.SP; i.Imm = fi.localSize })
+		}
+		// mov LR, X28                 ; LR <- aret_i
+		c.i(isa.MOV, func(i *isa.Instr) { i.Rd = isa.LR; i.Rn = isa.CR })
+		// ldr FP, [SP, #16]           ; skip ret in frame record
+		c.i(isa.LDR, func(i *isa.Instr) { i.Rd = isa.FP; i.Rn = isa.SP; i.Imm = 16 })
+		// ldr X28, [SP], #32          ; CR <- aret_{i-1} from stack
+		c.i(isa.LDRPOST, func(i *isa.Instr) { i.Rd = isa.CR; i.Rn = isa.SP; i.Imm = pacFrameSize })
+		if fi.scheme == SchemePACStack {
+			// Recreate and remove the mask before verification.
+			c.i(isa.MOV, func(i *isa.Instr) { i.Rd = isa.X15; i.Rn = isa.XZR })
+			c.i(isa.PACIA, func(i *isa.Instr) { i.Rd = isa.X15; i.Rn = isa.CR })
+			c.i(isa.EOR, func(i *isa.Instr) { i.Rd = isa.LR; i.Rn = isa.LR; i.Rm = isa.X15 })
+			c.i(isa.MOV, func(i *isa.Instr) { i.Rd = isa.X15; i.Rn = isa.XZR })
+		}
+		// autia LR, X28               ; LR <- ret_i or ret*
+		c.i(isa.AUTIA, func(i *isa.Instr) { i.Rd = isa.LR; i.Rn = isa.CR })
+	default:
+		if fi.localSize > 0 {
+			c.emitCanaryCheck(fi)
+			c.i(isa.ADDI, func(i *isa.Instr) { i.Rd = isa.SP; i.Rn = isa.SP; i.Imm = fi.localSize })
+		}
+		c.i(isa.LDPPOST, func(i *isa.Instr) { i.Rd = isa.FP; i.Rm = isa.LR; i.Rn = isa.SP; i.Imm = 16 })
+		if fi.scheme == SchemeShadowStack {
+			// Reload the return address from the shadow stack,
+			// overriding whatever was on the main stack.
+			c.i(isa.SUBI, func(i *isa.Instr) { i.Rd = isa.SCS; i.Rn = isa.SCS; i.Imm = 8 })
+			c.i(isa.LDR, func(i *isa.Instr) { i.Rd = isa.LR; i.Rn = isa.SCS; i.Imm = 0 })
+		}
+	}
+}
+
+func (c *compiler) emitReturn(fi *frameInfo) {
+	if !fi.leaf && fi.scheme == SchemeBranchProtection {
+		c.i(isa.RETAA, nil) // Listing 1: verify LR and return
+		return
+	}
+	c.i(isa.RET, func(i *isa.Instr) { i.Rn = isa.LR })
+}
+
+// emitTailBranch ends a function with a non-linking branch (Listing
+// 8). -mbranch-protection must authenticate LR explicitly because
+// RETAA is not executed.
+func (c *compiler) emitTailBranch(fi *frameInfo, target string) {
+	if !fi.leaf && fi.scheme == SchemeBranchProtection {
+		c.i(isa.AUTIASP, nil)
+	}
+	c.i(isa.B, func(i *isa.Instr) { i.Label = target })
+}
+
+func (c *compiler) emitCanaryStore(fi *frameInfo) {
+	if !fi.hasCanary {
+		return
+	}
+	off := fi.canaryOff()
+	c.i(isa.MOVZ, func(i *isa.Instr) { i.Rd = isa.X9; i.Imm = int64(c.layout.CanaryAddr()) })
+	c.i(isa.LDR, func(i *isa.Instr) { i.Rd = isa.X10; i.Rn = isa.X9; i.Imm = 0 })
+	c.i(isa.STR, func(i *isa.Instr) { i.Rd = isa.X10; i.Rn = isa.SP; i.Imm = off })
+}
+
+func (c *compiler) emitCanaryCheck(fi *frameInfo) {
+	if !fi.hasCanary {
+		return
+	}
+	off := fi.canaryOff()
+	c.i(isa.LDR, func(i *isa.Instr) { i.Rd = isa.X10; i.Rn = isa.SP; i.Imm = off })
+	c.i(isa.MOVZ, func(i *isa.Instr) { i.Rd = isa.X9; i.Imm = int64(c.layout.CanaryAddr()) })
+	c.i(isa.LDR, func(i *isa.Instr) { i.Rd = isa.X11; i.Rn = isa.X9; i.Imm = 0 })
+	c.i(isa.CMP, func(i *isa.Instr) { i.Rn = isa.X10; i.Rm = isa.X11 })
+	c.i(isa.BCND, func(i *isa.Instr) { i.Cond = isa.NE; i.Label = "__stack_chk_fail" })
+}

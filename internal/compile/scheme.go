@@ -1,0 +1,107 @@
+// Package compile lowers the function-level IR of internal/ir to
+// machine code, applying one of the return-address protection schemes
+// evaluated in the paper. It is the analogue of the modified LLVM
+// AArch64 backend: all schemes differ only in the prologue/epilogue
+// sequences emitted around otherwise identical function bodies
+// (Section 5, Listings 1–3).
+package compile
+
+import "fmt"
+
+// Scheme selects the return-address protection applied to every
+// instrumentable (non-leaf) function.
+type Scheme int
+
+// The six configurations measured in Section 7.
+const (
+	// SchemeNone is the uninstrumented baseline.
+	SchemeNone Scheme = iota
+	// SchemeCanary is -mstack-protector-strong: a per-process random
+	// canary between local buffers and the frame record, checked
+	// before return in functions with addressable locals.
+	SchemeCanary
+	// SchemeBranchProtection is -mbranch-protection (Listing 1):
+	// paciasp/retaa with the SP value as modifier.
+	SchemeBranchProtection
+	// SchemeShadowStack is the Clang ShadowCallStack: return
+	// addresses are pushed to a separate stack addressed by X18 and
+	// reloaded from there before returning.
+	SchemeShadowStack
+	// SchemePACStackNoMask is ACS without PAC masking (Listing 2).
+	SchemePACStackNoMask
+	// SchemePACStack is full ACS with PAC masking (Listing 3).
+	SchemePACStack
+	// SchemeStaticCFI is the fully-precise *stateless* static CFI
+	// comparator for returns (Sections 6.3/8): returns in F may target
+	// any instruction following a call to F. Modelled as an
+	// oracle-checked policy (see staticcfi.go); it exists to
+	// demonstrate control-flow bending, which stateless policies
+	// permit and PACStack does not.
+	SchemeStaticCFI
+)
+
+// Schemes lists every scheme in evaluation order.
+var Schemes = []Scheme{
+	SchemeNone,
+	SchemeCanary,
+	SchemeBranchProtection,
+	SchemeShadowStack,
+	SchemePACStackNoMask,
+	SchemePACStack,
+	SchemeStaticCFI,
+}
+
+// String returns the name used in the paper's tables.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNone:
+		return "baseline"
+	case SchemeCanary:
+		return "-mstack-protector-strong"
+	case SchemeBranchProtection:
+		return "-mbranch-protection"
+	case SchemeShadowStack:
+		return "ShadowCallStack"
+	case SchemePACStackNoMask:
+		return "PACStack-nomask"
+	case SchemePACStack:
+		return "PACStack"
+	case SchemeStaticCFI:
+		return "fully-precise static CFI"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Layout fixes the address-space plan of a compiled image.
+type Layout struct {
+	CodeBase    uint64
+	GlobalsBase uint64 // canary and other process globals
+	ShadowBase  uint64 // ShadowCallStack region
+	ShadowSize  uint64
+	StackBase   uint64
+	StackSize   uint64
+}
+
+// DefaultLayout returns the layout used throughout the test suite and
+// benchmarks.
+func DefaultLayout() Layout {
+	return Layout{
+		CodeBase:    0x0010_0000,
+		GlobalsBase: 0x0020_0000,
+		ShadowBase:  0x0030_0000,
+		ShadowSize:  0x8000,
+		StackBase:   0x0040_0000,
+		StackSize:   0x10000,
+	}
+}
+
+// CanaryAddr is where the stack-protector reference canary lives.
+func (l Layout) CanaryAddr() uint64 { return l.GlobalsBase }
+
+// JmpBufAddr returns the address of process-global jmp_buf number n.
+func (l Layout) JmpBufAddr(n int) uint64 {
+	return l.GlobalsBase + 0x100 + uint64(n)*JmpBufSize
+}
+
+// StackTop is the initial SP.
+func (l Layout) StackTop() uint64 { return l.StackBase + l.StackSize }

@@ -1,0 +1,116 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+
+	"pacstack/internal/isa"
+)
+
+// Fully-precise static CFI for returns — the strongest *stateless*
+// policy possible without breaking intended functionality (Carlini et
+// al., discussed in the paper's Sections 6.3 and 8): a return in
+// function F may target any instruction that follows a call to F.
+//
+// We model it as an oracle-checked policy (a RetCFI hook computed from
+// the image) rather than inlined check code; this is the standard way
+// CFI policies are evaluated and it isolates the *precision* question
+// the paper cares about: even this policy permits control-flow
+// bending between valid return sites of the same function, which the
+// stateful PACStack chain does not (see attack.ControlFlowBending).
+
+// returnSites computes, per function, the set of valid return targets:
+//   - the instruction after every direct call (BL) to the function;
+//   - the instruction after every indirect call (BLR), for every
+//     function — the standard over-approximation, since indirect
+//     targets are not known statically;
+//   - propagated across tail calls: if f ends with a branch to g, g
+//     returns on f's behalf, so g inherits f's sites (to fixpoint).
+func (img *Image) returnSites() map[string]map[uint64]bool {
+	entryName := make(map[uint64]string, len(img.FuncEntries))
+	for name, addr := range img.FuncEntries {
+		entryName[addr] = name
+	}
+	funcOf := func(addr uint64) string {
+		sym, _ := img.Prog.SymbolFor(addr)
+		if i := strings.IndexByte(sym, '$'); i >= 0 {
+			sym = sym[:i]
+		}
+		return sym
+	}
+
+	sites := make(map[string]map[uint64]bool)
+	add := func(fn string, target uint64) {
+		if sites[fn] == nil {
+			sites[fn] = make(map[uint64]bool)
+		}
+		sites[fn][target] = true
+	}
+	var indirectSites []uint64
+	type edge struct{ from, to string }
+	var tailEdges []edge
+
+	for i, ins := range img.Prog.Instrs {
+		pc := img.Prog.Base + uint64(i)*isa.InstrSize
+		switch ins.Op {
+		case isa.BL:
+			if callee, ok := entryName[ins.Target]; ok {
+				add(callee, pc+isa.InstrSize)
+			}
+		case isa.BLR:
+			indirectSites = append(indirectSites, pc+isa.InstrSize)
+		case isa.B:
+			// A branch to another function's entry is a tail call.
+			if callee, ok := entryName[ins.Target]; ok && callee != funcOf(pc) {
+				tailEdges = append(tailEdges, edge{from: funcOf(pc), to: callee})
+			}
+		}
+	}
+	for name := range img.FuncEntries {
+		for _, s := range indirectSites {
+			add(name, s)
+		}
+		// Thread entry points return to the task-exit stub.
+		add(name, img.FuncEntries["__task_exit"])
+	}
+	// Tail-call propagation to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range tailEdges {
+			for t := range sites[e.from] {
+				if !sites[e.to][t] {
+					add(e.to, t)
+					changed = true
+				}
+			}
+		}
+	}
+	return sites
+}
+
+// installStaticCFI wires the return policy into a booted process.
+func (img *Image) installStaticCFI(setRetCFI func(func(retPC, target uint64) error)) {
+	sites := img.returnSites()
+	funcOf := func(addr uint64) string {
+		sym, _ := img.Prog.SymbolFor(addr)
+		if i := strings.IndexByte(sym, '$'); i >= 0 {
+			sym = sym[:i]
+		}
+		return sym
+	}
+	setRetCFI(func(retPC, target uint64) error {
+		fn := funcOf(retPC)
+		// The runtime (setjmp/longjmp and friends) performs returns on
+		// other functions' behalf; real deployments special-case it.
+		if strings.HasPrefix(fn, "__") || fn == "_start" {
+			return nil
+		}
+		if f := img.IR.Function(fn); f != nil && f.Uninstrumented {
+			return nil
+		}
+		if !sites[fn][target] {
+			return fmt.Errorf("compile: static CFI violation: return from %s to %#x is not a valid return site", fn, target)
+		}
+		return nil
+	})
+}

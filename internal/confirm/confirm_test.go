@@ -1,0 +1,70 @@
+package confirm
+
+import (
+	"testing"
+
+	"pacstack/internal/compile"
+)
+
+func TestSuiteSize(t *testing.T) {
+	// The paper ran 11 applicable tests (Section 7.3).
+	if got := len(Tests()); got != 11 {
+		t.Errorf("suite has %d tests, want 11", got)
+	}
+}
+
+func TestAllSchemesPassAllTests(t *testing.T) {
+	results, err := RunAll(compile.Schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(Tests()) * len(compile.Schemes)
+	if len(results) != want {
+		t.Fatalf("results = %d, want %d", len(results), want)
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("%s under %v: %s", r.Test, r.Scheme, r.Detail)
+		}
+	}
+}
+
+func TestPACStackOutcomesMatchBaselineExactly(t *testing.T) {
+	for _, tc := range Tests() {
+		ref, err := tc.Execute(compile.SchemeNone)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		got, err := tc.Execute(compile.SchemePACStack)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		if got != ref {
+			t.Errorf("%s: %+v != %+v", tc.Name, got, ref)
+		}
+		if ref.ExitCode != 0 {
+			t.Errorf("%s: baseline exit %d", tc.Name, ref.ExitCode)
+		}
+	}
+}
+
+func TestThreadTestMakesProgressOnBothTasks(t *testing.T) {
+	out, err := runThreadTest(compile.SchemePACStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Output != "M=32 T=4" {
+		t.Errorf("thread output %q", out.Output)
+	}
+}
+
+func TestDeepChainProgramShape(t *testing.T) {
+	p := deepChainProgram(10)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// depth functions + main + leaf.
+	if len(p.Functions) != 12 {
+		t.Errorf("functions = %d", len(p.Functions))
+	}
+}

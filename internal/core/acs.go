@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// retBits is the width of the return-address field inside an aret;
+// the tag occupies the bits above it, mirroring how PA packs a PAC
+// into the unused high bits of a pointer.
+const retBits = 48
+
+// retMask extracts the return address from an aret.
+const retMask = 1<<retBits - 1
+
+// ErrAuthFailure is returned when unwinding meets a corrupted link —
+// the event that crashes a PACStack process.
+var ErrAuthFailure = errors.New("core: authentication failure (call stack integrity violated)")
+
+// ErrEmpty is returned when popping an empty stack.
+var ErrEmpty = errors.New("core: pop of empty call stack")
+
+// Config selects the ACS variant.
+type Config struct {
+	// Mask enables PAC masking (Section 4.2). PACStack-nomask is
+	// Mask: false.
+	Mask bool
+	// Seed is the initial modifier for auth_0. Re-seeding per thread
+	// or after fork (Section 4.3) means choosing distinct seeds.
+	Seed uint64
+}
+
+// Stack is one authenticated call stack.
+//
+// The zero-accessible surface mirrors the hardware split: CR (the
+// chain register) is reachable only through the Stack API, while the
+// spilled aret values are deliberately exposed — including for writing
+// — through Spilled/SetSpilled, which is the attacker's window in the
+// attack experiments.
+type Stack struct {
+	mac MAC
+	cfg Config
+
+	cr      uint64   // aret_n: the chain register
+	spilled []uint64 // aret_0 .. aret_{n-1}: attacker-accessible memory
+}
+
+// New returns an empty authenticated call stack.
+func New(mac MAC, cfg Config) *Stack {
+	return &Stack{mac: mac, cfg: cfg, cr: cfg.Seed}
+}
+
+// Bits returns the token width b.
+func (s *Stack) Bits() int { return s.mac.Bits() }
+
+// Depth returns the number of active frames.
+func (s *Stack) Depth() int { return len(s.spilled) }
+
+// CR returns the current chain register value aret_n. The register
+// itself is adversary-inaccessible; exposing it read-only here models
+// that its *value* is not secret (it is spilled to the next frame on
+// the next call anyway).
+func (s *Stack) CR() uint64 { return s.cr }
+
+// Spilled returns the aret stored in frame i (0 = oldest), i.e. the
+// attacker-readable stack contents.
+func (s *Stack) Spilled(i int) uint64 { return s.spilled[i] }
+
+// SetSpilled overwrites frame i — the attacker's write primitive.
+func (s *Stack) SetSpilled(i int, v uint64) { s.spilled[i] = v }
+
+// computeAret builds aret = auth || ret for a return address under
+// the given modifier (the previous aret), applying masking when
+// configured. This is Equation (2) of Section 4 plus the Section 4.2
+// mask.
+func (s *Stack) computeAret(ret, prev uint64) uint64 {
+	auth := s.mac.Tag(ret&retMask, prev)
+	if s.cfg.Mask {
+		auth ^= s.mac.Tag(0, prev)
+	}
+	return auth<<retBits | ret&retMask
+}
+
+// Aret computes the authenticated return address for an arbitrary
+// (ret, prev) pair under this stack's key and masking configuration.
+// This is the pacia computation the instrumented program performs; it
+// is exposed for instrumentation-level components (setjmp binding,
+// unwinders) and for attack harnesses that model what the *machine*
+// — never the adversary — computes.
+func (s *Stack) Aret(ret, prev uint64) uint64 {
+	return s.computeAret(ret&retMask, prev)
+}
+
+// Ret extracts the return-address field of an aret.
+func Ret(aret uint64) uint64 { return aret & retMask }
+
+// Auth extracts the token field of an aret.
+func Auth(aret uint64) uint64 { return aret >> retBits }
+
+// Push records a call with return address ret: the current chain
+// register is spilled to (attacker-writable) memory and CR becomes
+// aret_{n+1}.
+func (s *Stack) Push(ret uint64) {
+	if ret&^uint64(retMask) != 0 {
+		panic(fmt.Sprintf("core: return address %#x exceeds %d bits", ret, retBits))
+	}
+	next := s.computeAret(ret, s.cr)
+	s.spilled = append(s.spilled, s.cr)
+	s.cr = next
+}
+
+// Pop processes a return: the spilled aret_{i-1} is loaded from
+// memory (where the attacker may have replaced it) and the chain is
+// verified — H_k(ret_i, loaded) must reproduce CR's token. On success
+// CR becomes the loaded value and the verified return address is
+// returned. On failure ErrAuthFailure is returned and the stack is
+// left unusable, modelling the process crash.
+func (s *Stack) Pop() (uint64, error) {
+	if len(s.spilled) == 0 {
+		return 0, ErrEmpty
+	}
+	loaded := s.spilled[len(s.spilled)-1]
+	s.spilled = s.spilled[:len(s.spilled)-1]
+
+	ret := Ret(s.cr)
+	if s.computeAret(ret, loaded) != s.cr {
+		return 0, ErrAuthFailure
+	}
+	s.cr = loaded
+	return ret, nil
+}
+
+// State is a snapshot of the ACS position, as captured by the
+// setjmp binding (Section 4.4): the aret value and depth at the time
+// of the snapshot.
+type State struct {
+	Aret  uint64
+	Depth int
+}
+
+// Snapshot captures the current position for later unwinding.
+func (s *Stack) Snapshot() State {
+	return State{Aret: s.cr, Depth: len(s.spilled)}
+}
+
+// Unwind performs validated frame-by-frame unwinding to a previously
+// captured state, the Section 9.1 design for longjmp and C++
+// exceptions: each intermediate link is verified exactly as a normal
+// return would, so a forged or stale target state cannot be reached
+// without breaking the chain.
+func (s *Stack) Unwind(to State) error {
+	if to.Depth > len(s.spilled) {
+		return fmt.Errorf("core: unwind target depth %d above current depth %d", to.Depth, len(s.spilled))
+	}
+	for len(s.spilled) > to.Depth {
+		if _, err := s.Pop(); err != nil {
+			return err
+		}
+	}
+	if s.cr != to.Aret {
+		return ErrAuthFailure
+	}
+	return nil
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newStack(t *testing.T, bits int, mask bool) *Stack {
+	t.Helper()
+	return New(NewRandomQarmaMAC(bits), Config{Mask: mask})
+}
+
+func TestPushPopRoundTrip(t *testing.T) {
+	for _, mask := range []bool{false, true} {
+		s := newStack(t, 16, mask)
+		rets := []uint64{0x1000, 0x2004, 0x3008, 0x400c, 0x5010}
+		for _, r := range rets {
+			s.Push(r)
+		}
+		if s.Depth() != len(rets) {
+			t.Fatalf("depth = %d", s.Depth())
+		}
+		for i := len(rets) - 1; i >= 0; i-- {
+			got, err := s.Pop()
+			if err != nil {
+				t.Fatalf("mask=%v: pop %d: %v", mask, i, err)
+			}
+			if got != rets[i] {
+				t.Errorf("mask=%v: pop %d = %#x, want %#x", mask, i, got, rets[i])
+			}
+		}
+		if _, err := s.Pop(); !errors.Is(err, ErrEmpty) {
+			t.Errorf("pop of empty = %v", err)
+		}
+	}
+}
+
+func TestPushPopProperty(t *testing.T) {
+	mac := NewRandomQarmaMAC(16)
+	f := func(raw []uint64) bool {
+		s := New(mac, Config{Mask: true})
+		rets := make([]uint64, len(raw))
+		for i, r := range raw {
+			rets[i] = r & retMask
+			s.Push(rets[i])
+		}
+		for i := len(rets) - 1; i >= 0; i-- {
+			got, err := s.Pop()
+			if err != nil || got != rets[i] {
+				return false
+			}
+		}
+		return s.Depth() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorruptedSpillDetected(t *testing.T) {
+	for _, mask := range []bool{false, true} {
+		s := newStack(t, 16, mask)
+		s.Push(0x1000)
+		s.Push(0x2000)
+		s.Push(0x3000)
+		// The attacker flips a bit in the middle spilled link.
+		s.SetSpilled(1, s.Spilled(1)^1)
+		if _, err := s.Pop(); err != nil { // top frame is intact
+			t.Fatalf("mask=%v: top pop failed: %v", mask, err)
+		}
+		if _, err := s.Pop(); !errors.Is(err, ErrAuthFailure) {
+			t.Errorf("mask=%v: corrupted link popped: %v", mask, err)
+		}
+	}
+}
+
+func TestReplacedReturnAddressDetected(t *testing.T) {
+	// Replacing a spilled aret with a validly-signed aret for a
+	// *different* position still breaks the chain: the token in CR
+	// binds the specific previous link.
+	s := newStack(t, 16, true)
+	s.Push(0x1000)
+	other := s.CR()
+	s.Push(0x2000)
+	s.Push(0x3000)
+	s.SetSpilled(2, other) // splice in an old link
+	if _, err := s.Pop(); !errors.Is(err, ErrAuthFailure) {
+		t.Errorf("spliced chain accepted: %v", err)
+	}
+}
+
+func TestMaskingHidesCollisions(t *testing.T) {
+	// Without masking, two aret values whose tokens collide are
+	// visible as equal token fields. With masking they are blinded.
+	// We construct many single-push stacks over the same MAC and
+	// compare observed token-field collisions between masked and
+	// unmasked variants for identical (ret, prev) inputs.
+	mac := NewRandomQarmaMAC(8) // 8-bit tokens collide quickly
+	const n = 2048
+	rawTokens := make(map[uint64][]uint64)
+	maskTokens := make(map[uint64][]uint64)
+	for i := 0; i < n; i++ {
+		prev := uint64(i) * 0x9E3779B97F4A7C15
+		raw := New(mac, Config{Mask: false, Seed: prev})
+		msk := New(mac, Config{Mask: true, Seed: prev})
+		raw.Push(0x1234)
+		msk.Push(0x1234)
+		rawTokens[Auth(raw.CR())] = append(rawTokens[Auth(raw.CR())], prev)
+		maskTokens[Auth(msk.CR())] = append(maskTokens[Auth(msk.CR())], prev)
+	}
+	// In the unmasked case equal token fields imply real collisions
+	// that the adversary can exploit with certainty. Verify that the
+	// masked construction still produces valid chains (functional
+	// check; the indistinguishability argument is exercised in
+	// internal/oracle).
+	if len(rawTokens) == n {
+		t.Error("8-bit tokens produced no collisions across 2048 samples; MAC is suspicious")
+	}
+	for tok, prevs := range rawTokens {
+		for _, prev := range prevs {
+			if mac.Tag(0x1234, prev)&0xFF != tok {
+				t.Fatal("unmasked token does not match direct MAC evaluation")
+			}
+		}
+	}
+}
+
+func TestMaskedAndUnmaskedDiffer(t *testing.T) {
+	mac := NewRandomQarmaMAC(16)
+	raw := New(mac, Config{Mask: false})
+	msk := New(mac, Config{Mask: true})
+	differ := false
+	for r := uint64(0x1000); r < 0x1000+64*4; r += 4 {
+		raw.Push(r)
+		msk.Push(r)
+		if raw.CR() != msk.CR() {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("masking never changed a token across 64 pushes")
+	}
+}
+
+func TestSeedSeparatesChains(t *testing.T) {
+	// Section 4.3: re-seeded chains are disjoint — the same call
+	// sequence yields different aret values under different seeds.
+	mac := NewRandomQarmaMAC(16)
+	a := New(mac, Config{Mask: true, Seed: 1})
+	b := New(mac, Config{Mask: true, Seed: 2})
+	a.Push(0x1000)
+	b.Push(0x1000)
+	if a.CR() == b.CR() {
+		t.Error("different seeds produced identical chains")
+	}
+}
+
+func TestSnapshotUnwind(t *testing.T) {
+	s := newStack(t, 16, true)
+	s.Push(0x1000)
+	s.Push(0x2000)
+	mark := s.Snapshot() // setjmp here
+	s.Push(0x3000)
+	s.Push(0x4000)
+	s.Push(0x5000)
+	if err := s.Unwind(mark); err != nil { // longjmp back
+		t.Fatalf("unwind: %v", err)
+	}
+	if s.Depth() != 2 || s.CR() != mark.Aret {
+		t.Errorf("depth=%d cr=%#x", s.Depth(), s.CR())
+	}
+	// Execution continues normally afterwards.
+	got, err := s.Pop()
+	if err != nil || got != 0x2000 {
+		t.Errorf("post-unwind pop = %#x, %v", got, err)
+	}
+}
+
+func TestUnwindDetectsCorruption(t *testing.T) {
+	s := newStack(t, 16, true)
+	s.Push(0x1000)
+	mark := s.Snapshot()
+	s.Push(0x2000)
+	s.Push(0x3000)
+	s.SetSpilled(1, s.Spilled(1)^0xF0)
+	if err := s.Unwind(mark); !errors.Is(err, ErrAuthFailure) {
+		t.Errorf("unwind over corrupt frame: %v", err)
+	}
+}
+
+func TestUnwindRejectsForgedState(t *testing.T) {
+	s := newStack(t, 16, true)
+	s.Push(0x1000)
+	s.Push(0x2000)
+	forged := State{Aret: 0xDEAD_0000_1000, Depth: 1}
+	if err := s.Unwind(forged); err == nil {
+		t.Error("forged unwind state accepted")
+	}
+	// Target depth above current depth is rejected outright.
+	deep := State{Aret: s.CR(), Depth: 99}
+	if err := s.Unwind(deep); err == nil {
+		t.Error("unwind to deeper state accepted")
+	}
+}
+
+func TestPushRejectsOversizedReturnAddress(t *testing.T) {
+	s := newStack(t, 16, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 64-bit return address")
+		}
+	}()
+	s.Push(1 << 63)
+}
+
+func TestRetAuthAccessors(t *testing.T) {
+	s := newStack(t, 16, false)
+	s.Push(0xABCD)
+	if Ret(s.CR()) != 0xABCD {
+		t.Errorf("Ret = %#x", Ret(s.CR()))
+	}
+	if Auth(s.CR()) > 0xFFFF {
+		t.Errorf("Auth exceeds 16 bits: %#x", Auth(s.CR()))
+	}
+}
+
+func TestDeepChain(t *testing.T) {
+	// A deep, randomly shaped call stack unwinds cleanly — the chain
+	// is position-dependent all the way down.
+	s := newStack(t, 16, true)
+	rng := rand.New(rand.NewSource(1))
+	var rets []uint64
+	for i := 0; i < 10_000; i++ {
+		r := rng.Uint64() & retMask
+		rets = append(rets, r)
+		s.Push(r)
+	}
+	for i := len(rets) - 1; i >= 0; i-- {
+		got, err := s.Pop()
+		if err != nil || got != rets[i] {
+			t.Fatalf("pop %d = %#x, %v", i, got, err)
+		}
+	}
+}
+
+func TestTagWidths(t *testing.T) {
+	for _, b := range []int{1, 4, 8, 12, 16, 24, 32} {
+		mac := NewRandomQarmaMAC(b)
+		if mac.Bits() != b {
+			t.Errorf("Bits() = %d", mac.Bits())
+		}
+		if tag := mac.Tag(0x1234, 0x5678); tag >= 1<<uint(b) {
+			t.Errorf("b=%d: tag %#x out of range", b, tag)
+		}
+		s := New(mac, Config{Mask: true})
+		s.Push(0x4242)
+		if got, err := s.Pop(); err != nil || got != 0x4242 {
+			t.Errorf("b=%d: round trip failed: %#x, %v", b, got, err)
+		}
+	}
+}
+
+func TestNewQarmaMACPanicsOnBadWidth(t *testing.T) {
+	for _, b := range []int{0, -1, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d accepted", b)
+				}
+			}()
+			NewQarmaMAC(1, 2, b)
+		}()
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	s := New(NewRandomQarmaMAC(16), Config{Mask: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Push(0x1000)
+		if _, err := s.Pop(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHMACMACBehavesLikeAMAC(t *testing.T) {
+	mac := NewRandomHMACMAC(16)
+	if mac.Bits() != 16 {
+		t.Errorf("Bits = %d", mac.Bits())
+	}
+	if mac.Tag(1, 2) != mac.Tag(1, 2) {
+		t.Error("not a function")
+	}
+	if mac.Tag(1, 2) == mac.Tag(1, 3) && mac.Tag(2, 2) == mac.Tag(1, 2) {
+		t.Error("tag ignores inputs")
+	}
+	if mac.Tag(1, 2) > 0xFFFF {
+		t.Error("tag exceeds width")
+	}
+	// Distinct keys disagree.
+	other := NewRandomHMACMAC(16)
+	same := 0
+	for i := uint64(0); i < 64; i++ {
+		if mac.Tag(0x1000, i) == other.Tag(0x1000, i) {
+			same++
+		}
+	}
+	if same > 3 {
+		t.Errorf("two keys agreed on %d/64 tags", same)
+	}
+}
+
+func TestStackWorksWithHMACMAC(t *testing.T) {
+	// The ACS construction is MAC-agnostic: the full push/pop/corrupt
+	// cycle must behave identically on the software MAC.
+	s := New(NewRandomHMACMAC(16), Config{Mask: true})
+	s.Push(0x1000)
+	s.Push(0x2000)
+	s.SetSpilled(1, s.Spilled(1)^1)
+	if _, err := s.Pop(); !errors.Is(err, ErrAuthFailure) {
+		t.Errorf("corruption undetected under HMAC MAC: %v", err)
+	}
+}
+
+func TestNewHMACMACPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHMACMAC([]byte{1}, 0)
+}
+
+// BenchmarkMACBackends compares the MAC backends the ACS construction
+// can run on. Caveat for reading the numbers: this measures *our Go
+// implementations* — an unoptimized reference QARMA against a stdlib
+// SHA-256 that may use hardware instructions — not the silicon the
+// paper compares, where the PA unit computes QARMA in ~4 cycles while
+// a software MAC costs tens of cycles per call. The in-system cost
+// comparison lives in the cycle model (cpu.CostModel.PAC and the
+// `pacstack-bench -exp paccost` ablation).
+func BenchmarkMACBackends(b *testing.B) {
+	backends := map[string]MAC{
+		"qarma64":     NewRandomQarmaMAC(16),
+		"hmac-sha256": NewRandomHMACMAC(16),
+	}
+	for name, mac := range backends {
+		b.Run(name, func(b *testing.B) {
+			s := New(mac, Config{Mask: true})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Push(0x1000)
+				if _, err := s.Pop(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

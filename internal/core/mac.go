@@ -1,0 +1,94 @@
+// Package core implements the authenticated call stack (ACS), the
+// paper's primary contribution, as an architecture-independent
+// library.
+//
+// ACS binds the whole return-address chain into a sequence of b-bit
+// authentication tokens (paper Section 4, Figures 2 and 3):
+//
+//	auth_i = H_k(ret_i, aret_{i-1})            (i > 0)
+//	auth_0 = H_k(ret_0, seed)
+//	aret_i = auth_i || ret_i
+//
+// Only aret_n — the most recent link — must be kept out of the
+// attacker's reach (the chain register); every earlier aret_i lives in
+// attacker-writable memory, and any modification of one is detected
+// when the chain unwinds through it.
+//
+// With masking (Section 4.2) the stored token is blinded by a
+// pseudo-random value derived from the previous link:
+//
+//	auth_i = H_k(ret_i, aret_{i-1}) XOR H_k(0, aret_{i-1})
+//
+// which prevents the attacker from recognising token collisions among
+// harvested aret values.
+//
+// The PACStack realization of this design (ARM PA instructions emitted
+// by internal/compile) and this library share their security
+// arguments; the attack experiments of Section 6 run against this
+// package where cycle-accuracy is not needed.
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+
+	"pacstack/internal/qarma"
+)
+
+// MAC is the tweakable MAC H_k: a keyed function of a pointer and a
+// 64-bit modifier producing a b-bit tag.
+type MAC interface {
+	// Tag returns H_k(pointer, modifier) in the low Bits() bits.
+	Tag(pointer, modifier uint64) uint64
+	// Bits is the tag width b.
+	Bits() int
+}
+
+// QarmaMAC implements MAC with QARMA-64, the same primitive that
+// backs ARM pointer authentication, truncated by folding to b bits.
+type QarmaMAC struct {
+	c    *qarma.Cipher
+	bits int
+	mask uint64
+}
+
+// NewQarmaMAC builds a MAC with the given 128-bit key (w0, k0) and
+// tag width 1..32.
+func NewQarmaMAC(w0, k0 uint64, bits int) *QarmaMAC {
+	if bits < 1 || bits > 32 {
+		panic("core: tag width out of range")
+	}
+	return &QarmaMAC{
+		c:    qarma.New(w0, k0, qarma.Config{}),
+		bits: bits,
+		mask: 1<<uint(bits) - 1,
+	}
+}
+
+// NewRandomQarmaMAC draws a fresh random key, as the kernel does on
+// exec.
+func NewRandomQarmaMAC(bits int) *QarmaMAC {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic("core: entropy source failed: " + err.Error())
+	}
+	return NewQarmaMAC(
+		binary.LittleEndian.Uint64(buf[:8]),
+		binary.LittleEndian.Uint64(buf[8:]),
+		bits,
+	)
+}
+
+// Tag implements MAC by folding the 64-bit QARMA output down to b
+// bits so the whole ciphertext contributes.
+func (m *QarmaMAC) Tag(pointer, modifier uint64) uint64 {
+	ct := m.c.Encrypt(pointer, modifier)
+	t := ct
+	for sh := 32; sh >= m.bits; sh >>= 1 {
+		t = (t >> uint(sh)) ^ (t & (1<<uint(sh) - 1))
+	}
+	return t & m.mask
+}
+
+// Bits implements MAC.
+func (m *QarmaMAC) Bits() int { return m.bits }

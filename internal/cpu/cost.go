@@ -1,0 +1,60 @@
+package cpu
+
+import "pacstack/internal/isa"
+
+// CostModel assigns a cycle cost to each instruction class. The
+// defaults follow the estimates used in the paper's evaluation
+// (Section 7): general instructions retire in one cycle, loads pay a
+// small cache-hit latency, and each PAC computation costs four cycles
+// — the QARMA latency estimate by Liljestrand et al. that the paper's
+// PA-analogue is calibrated to.
+type CostModel struct {
+	Default int // simple ALU / move operations
+	Load    int // LDR and one half of LDP
+	Store   int // STR and one half of STP
+	Branch  int // taken or not; includes calls and returns
+	Mul     int // integer multiply
+	PAC     int // each pac*/aut* computation
+	Syscall int // EL0 -> EL1 -> EL0 round trip
+}
+
+// DefaultCostModel returns the calibration used for all performance
+// experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Default: 1,
+		Load:    4,
+		Store:   1,
+		Branch:  1,
+		Mul:     3,
+		PAC:     4,
+		Syscall: 150,
+	}
+}
+
+// Cost returns the cycle cost of one instruction.
+func (c CostModel) Cost(op isa.Op) int {
+	switch op {
+	case isa.LDR, isa.LDRPOST:
+		return c.Load
+	case isa.LDP, isa.LDPPOST:
+		return 2 * c.Load
+	case isa.STR, isa.STRPRE:
+		return c.Store
+	case isa.STP, isa.STPPRE:
+		return 2 * c.Store
+	case isa.B, isa.BL, isa.BR, isa.BLR, isa.RET, isa.BCND, isa.CBZ, isa.CBNZ:
+		return c.Branch
+	case isa.MUL:
+		return c.Mul
+	case isa.PACIA, isa.PACIB, isa.AUTIA, isa.AUTIB, isa.PACIASP, isa.AUTIASP, isa.PACGA:
+		return c.PAC
+	case isa.RETAA:
+		// Fused authenticate + return.
+		return c.PAC + c.Branch
+	case isa.SVC:
+		return c.Syscall
+	default:
+		return c.Default
+	}
+}

@@ -1,0 +1,422 @@
+// Package cpu executes programs for the simulated AArch64-flavoured
+// machine defined in internal/isa.
+//
+// The machine models exactly what the PACStack security argument
+// needs from hardware:
+//
+//   - a register file the adversary cannot touch (registers are Go
+//     struct fields, reachable only through the CPU API, never through
+//     the mem.Adversary window);
+//   - pointer-authentication instructions whose keys live outside the
+//     machine (in the pa.Authenticator installed by the kernel) and
+//     are unreadable at EL0 — there is no instruction that returns key
+//     material;
+//   - translation faults: branching to or executing from a
+//     non-canonical or unmapped address stops the program, which is
+//     how failed PAC authentications terminate a run;
+//   - a deterministic cycle cost model used by the performance
+//     experiments.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"pacstack/internal/isa"
+	"pacstack/internal/mem"
+	"pacstack/internal/pa"
+)
+
+// Fault is an execution fault: a memory violation, a translation
+// fault on a corrupt pointer, or an undefined operation.
+type Fault struct {
+	PC     uint64
+	Symbol string // nearest symbol, when known
+	Err    error
+}
+
+func (f *Fault) Error() string {
+	if f.Symbol != "" {
+		return fmt.Sprintf("cpu: fault at %#x (%s): %v", f.PC, f.Symbol, f.Err)
+	}
+	return fmt.Sprintf("cpu: fault at %#x: %v", f.PC, f.Err)
+}
+
+// Unwrap exposes the underlying cause (e.g. *mem.Fault).
+func (f *Fault) Unwrap() error { return f.Err }
+
+// ErrStepLimit is returned by Run when the step budget is exhausted
+// before the program halts.
+var ErrStepLimit = errors.New("cpu: step limit exceeded")
+
+// SyscallHandler services SVC instructions; the kernel installs one.
+// Returning an error faults the machine.
+type SyscallHandler func(m *Machine, imm int64) error
+
+// Machine is one simulated hardware thread.
+type Machine struct {
+	regs [isa.NumRegs]uint64
+	PC   uint64
+
+	// Condition flags (NZCV).
+	N, Z, C, V bool
+
+	Mem  *mem.Memory
+	Prog *isa.Program
+	Auth *pa.Authenticator
+	Cost CostModel
+
+	// Cycles and Instrs accumulate the cost-model time and the
+	// retired instruction count.
+	Cycles uint64
+	Instrs uint64
+
+	Halted   bool
+	ExitCode uint64
+
+	Syscall SyscallHandler
+
+	// CallCFI, when non-nil, validates indirect call targets (BLR)
+	// before the branch is taken. It models the coarse-grained
+	// forward-edge CFI of assumption A2: indirect calls may only
+	// target function entry points.
+	CallCFI func(target uint64) error
+
+	// RetCFI, when non-nil, validates RET targets — the hook behind
+	// the stateless fully-precise static CFI comparator (Carlini et
+	// al., discussed in the paper's Sections 6.3 and 8). It receives
+	// the address of the returning instruction and the target.
+	RetCFI func(retPC, target uint64) error
+
+	// Trace, when non-nil, observes every retired instruction.
+	Trace func(pc uint64, ins isa.Instr)
+}
+
+// New returns a machine executing prog against memory m with PA
+// authenticator auth (which may be nil if the program uses no PA
+// instructions).
+func New(prog *isa.Program, m *mem.Memory, auth *pa.Authenticator) *Machine {
+	return &Machine{
+		Mem:  m,
+		Prog: prog,
+		Auth: auth,
+		Cost: DefaultCostModel(),
+	}
+}
+
+// Reg reads a register; XZR reads as zero.
+func (m *Machine) Reg(r isa.Reg) uint64 {
+	if r == isa.XZR {
+		return 0
+	}
+	return m.regs[r]
+}
+
+// SetReg writes a register; writes to XZR are discarded.
+func (m *Machine) SetReg(r isa.Reg, v uint64) {
+	if r == isa.XZR {
+		return
+	}
+	m.regs[r] = v
+}
+
+// Regs returns a copy of the register file, for context switching.
+func (m *Machine) Regs() [isa.NumRegs]uint64 { return m.regs }
+
+// SetRegs replaces the register file, for context switching.
+func (m *Machine) SetRegs(r [isa.NumRegs]uint64) { m.regs = r }
+
+func (m *Machine) fault(err error) error {
+	sym, _ := m.Prog.SymbolFor(m.PC)
+	return &Fault{PC: m.PC, Symbol: sym, Err: err}
+}
+
+// checkTarget validates a branch target before the PC is moved:
+// non-canonical pointers (e.g. a failed aut result) raise the
+// translation fault the architecture would.
+func (m *Machine) checkTarget(t uint64) error {
+	if m.Auth != nil && !m.Auth.IsCanonical(t) {
+		return fmt.Errorf("translation fault: non-canonical branch target %#x", t)
+	}
+	return m.Mem.CheckFetch(t)
+}
+
+// Step retires one instruction.
+func (m *Machine) Step() error {
+	if m.Halted {
+		return m.fault(errors.New("machine is halted"))
+	}
+	if err := m.Mem.CheckFetch(m.PC); err != nil {
+		return m.fault(err)
+	}
+	ins, err := m.Prog.At(m.PC)
+	if err != nil {
+		return m.fault(err)
+	}
+	if m.Trace != nil {
+		m.Trace(m.PC, ins)
+	}
+	m.Cycles += uint64(m.Cost.Cost(ins.Op))
+	m.Instrs++
+
+	next := m.PC + isa.InstrSize
+	switch ins.Op {
+	case isa.NOP:
+	case isa.HLT:
+		m.Halted = true
+	case isa.MOVZ:
+		m.SetReg(ins.Rd, uint64(ins.Imm))
+	case isa.MOV:
+		m.SetReg(ins.Rd, m.Reg(ins.Rn))
+	case isa.ADD:
+		m.SetReg(ins.Rd, m.Reg(ins.Rn)+m.Reg(ins.Rm))
+	case isa.ADDI:
+		m.SetReg(ins.Rd, m.Reg(ins.Rn)+uint64(ins.Imm))
+	case isa.SUB:
+		m.SetReg(ins.Rd, m.Reg(ins.Rn)-m.Reg(ins.Rm))
+	case isa.SUBI:
+		m.SetReg(ins.Rd, m.Reg(ins.Rn)-uint64(ins.Imm))
+	case isa.EOR:
+		m.SetReg(ins.Rd, m.Reg(ins.Rn)^m.Reg(ins.Rm))
+	case isa.AND:
+		m.SetReg(ins.Rd, m.Reg(ins.Rn)&m.Reg(ins.Rm))
+	case isa.ORR:
+		m.SetReg(ins.Rd, m.Reg(ins.Rn)|m.Reg(ins.Rm))
+	case isa.LSLI:
+		m.SetReg(ins.Rd, m.Reg(ins.Rn)<<uint(ins.Imm&63))
+	case isa.LSRI:
+		m.SetReg(ins.Rd, m.Reg(ins.Rn)>>uint(ins.Imm&63))
+	case isa.MUL:
+		m.SetReg(ins.Rd, m.Reg(ins.Rn)*m.Reg(ins.Rm))
+
+	case isa.LDR:
+		v, err := m.Mem.Read64(m.Reg(ins.Rn) + uint64(ins.Imm))
+		if err != nil {
+			return m.fault(err)
+		}
+		m.SetReg(ins.Rd, v)
+	case isa.LDRPOST:
+		addr := m.Reg(ins.Rn)
+		v, err := m.Mem.Read64(addr)
+		if err != nil {
+			return m.fault(err)
+		}
+		m.SetReg(ins.Rd, v)
+		m.SetReg(ins.Rn, addr+uint64(ins.Imm))
+	case isa.STR:
+		if err := m.Mem.Write64(m.Reg(ins.Rn)+uint64(ins.Imm), m.Reg(ins.Rd)); err != nil {
+			return m.fault(err)
+		}
+	case isa.STRPRE:
+		addr := m.Reg(ins.Rn) + uint64(ins.Imm)
+		if err := m.Mem.Write64(addr, m.Reg(ins.Rd)); err != nil {
+			return m.fault(err)
+		}
+		m.SetReg(ins.Rn, addr)
+	case isa.LDP:
+		base := m.Reg(ins.Rn) + uint64(ins.Imm)
+		v1, err := m.Mem.Read64(base)
+		if err != nil {
+			return m.fault(err)
+		}
+		v2, err := m.Mem.Read64(base + 8)
+		if err != nil {
+			return m.fault(err)
+		}
+		m.SetReg(ins.Rd, v1)
+		m.SetReg(ins.Rm, v2)
+	case isa.LDPPOST:
+		base := m.Reg(ins.Rn)
+		v1, err := m.Mem.Read64(base)
+		if err != nil {
+			return m.fault(err)
+		}
+		v2, err := m.Mem.Read64(base + 8)
+		if err != nil {
+			return m.fault(err)
+		}
+		m.SetReg(ins.Rd, v1)
+		m.SetReg(ins.Rm, v2)
+		m.SetReg(ins.Rn, base+uint64(ins.Imm))
+	case isa.STP:
+		base := m.Reg(ins.Rn) + uint64(ins.Imm)
+		if err := m.Mem.Write64(base, m.Reg(ins.Rd)); err != nil {
+			return m.fault(err)
+		}
+		if err := m.Mem.Write64(base+8, m.Reg(ins.Rm)); err != nil {
+			return m.fault(err)
+		}
+	case isa.STPPRE:
+		base := m.Reg(ins.Rn) + uint64(ins.Imm)
+		if err := m.Mem.Write64(base, m.Reg(ins.Rd)); err != nil {
+			return m.fault(err)
+		}
+		if err := m.Mem.Write64(base+8, m.Reg(ins.Rm)); err != nil {
+			return m.fault(err)
+		}
+		m.SetReg(ins.Rn, base)
+
+	case isa.B:
+		if err := m.checkTarget(ins.Target); err != nil {
+			return m.fault(err)
+		}
+		next = ins.Target
+	case isa.BL:
+		if err := m.checkTarget(ins.Target); err != nil {
+			return m.fault(err)
+		}
+		m.SetReg(isa.LR, next)
+		next = ins.Target
+	case isa.BR:
+		t := m.Reg(ins.Rn)
+		if err := m.checkTarget(t); err != nil {
+			return m.fault(err)
+		}
+		next = t
+	case isa.BLR:
+		t := m.Reg(ins.Rn)
+		if m.CallCFI != nil {
+			if err := m.CallCFI(t); err != nil {
+				return m.fault(err)
+			}
+		}
+		if err := m.checkTarget(t); err != nil {
+			return m.fault(err)
+		}
+		m.SetReg(isa.LR, next)
+		next = t
+	case isa.RET:
+		t := m.Reg(ins.Rn)
+		if m.RetCFI != nil {
+			if err := m.RetCFI(m.PC, t); err != nil {
+				return m.fault(err)
+			}
+		}
+		if err := m.checkTarget(t); err != nil {
+			return m.fault(err)
+		}
+		next = t
+	case isa.RETAA:
+		if m.Auth == nil {
+			return m.fault(errors.New("PA instruction without authenticator"))
+		}
+		t, _ := m.Auth.Auth(pa.KeyIA, m.Reg(isa.LR), m.Reg(isa.SP))
+		if err := m.checkTarget(t); err != nil {
+			return m.fault(err)
+		}
+		next = t
+
+	case isa.BCND:
+		if m.condHolds(ins.Cond) {
+			if err := m.checkTarget(ins.Target); err != nil {
+				return m.fault(err)
+			}
+			next = ins.Target
+		}
+	case isa.CBZ:
+		if m.Reg(ins.Rn) == 0 {
+			if err := m.checkTarget(ins.Target); err != nil {
+				return m.fault(err)
+			}
+			next = ins.Target
+		}
+	case isa.CBNZ:
+		if m.Reg(ins.Rn) != 0 {
+			if err := m.checkTarget(ins.Target); err != nil {
+				return m.fault(err)
+			}
+			next = ins.Target
+		}
+
+	case isa.CMP:
+		m.setFlagsSub(m.Reg(ins.Rn), m.Reg(ins.Rm))
+	case isa.CMPI:
+		m.setFlagsSub(m.Reg(ins.Rn), uint64(ins.Imm))
+
+	case isa.PACIA, isa.PACIB, isa.AUTIA, isa.AUTIB, isa.PACIASP, isa.AUTIASP, isa.PACGA, isa.XPACI:
+		if m.Auth == nil {
+			return m.fault(errors.New("PA instruction without authenticator"))
+		}
+		switch ins.Op {
+		case isa.PACIA:
+			m.SetReg(ins.Rd, m.Auth.AddPAC(pa.KeyIA, m.Reg(ins.Rd), m.Reg(ins.Rn)))
+		case isa.PACIB:
+			m.SetReg(ins.Rd, m.Auth.AddPAC(pa.KeyIB, m.Reg(ins.Rd), m.Reg(ins.Rn)))
+		case isa.AUTIA:
+			v, _ := m.Auth.Auth(pa.KeyIA, m.Reg(ins.Rd), m.Reg(ins.Rn))
+			m.SetReg(ins.Rd, v)
+		case isa.AUTIB:
+			v, _ := m.Auth.Auth(pa.KeyIB, m.Reg(ins.Rd), m.Reg(ins.Rn))
+			m.SetReg(ins.Rd, v)
+		case isa.PACIASP:
+			m.SetReg(isa.LR, m.Auth.AddPAC(pa.KeyIA, m.Reg(isa.LR), m.Reg(isa.SP)))
+		case isa.AUTIASP:
+			v, _ := m.Auth.Auth(pa.KeyIA, m.Reg(isa.LR), m.Reg(isa.SP))
+			m.SetReg(isa.LR, v)
+		case isa.PACGA:
+			m.SetReg(ins.Rd, m.Auth.PACGA(m.Reg(ins.Rn), m.Reg(ins.Rm)))
+		case isa.XPACI:
+			m.SetReg(ins.Rd, m.Auth.StripPAC(m.Reg(ins.Rd)))
+		}
+
+	case isa.SVC:
+		if m.Syscall == nil {
+			return m.fault(fmt.Errorf("svc #%d with no kernel", ins.Imm))
+		}
+		// PC advances past the SVC before the handler runs, so a
+		// handler-initiated context switch resumes correctly.
+		m.PC = next
+		if err := m.Syscall(m, ins.Imm); err != nil {
+			return m.fault(err)
+		}
+		return nil
+
+	default:
+		return m.fault(fmt.Errorf("undefined instruction %v", ins))
+	}
+
+	m.PC = next
+	return nil
+}
+
+func (m *Machine) setFlagsSub(a, b uint64) {
+	r := a - b
+	m.N = int64(r) < 0
+	m.Z = r == 0
+	m.C = a >= b
+	m.V = (int64(a) < 0) != (int64(b) < 0) && (int64(r) < 0) != (int64(a) < 0)
+}
+
+func (m *Machine) condHolds(c isa.Cond) bool {
+	switch c {
+	case isa.EQ:
+		return m.Z
+	case isa.NE:
+		return !m.Z
+	case isa.LT:
+		return m.N != m.V
+	case isa.GE:
+		return m.N == m.V
+	case isa.GT:
+		return !m.Z && m.N == m.V
+	case isa.LE:
+		return m.Z || m.N != m.V
+	}
+	return false
+}
+
+// Run steps until the machine halts, faults, or exceeds maxSteps.
+func (m *Machine) Run(maxSteps uint64) error {
+	for i := uint64(0); i < maxSteps; i++ {
+		if m.Halted {
+			return nil
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	if m.Halted {
+		return nil
+	}
+	return ErrStepLimit
+}

@@ -1,0 +1,487 @@
+package cpu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pacstack/internal/isa"
+	"pacstack/internal/mem"
+	"pacstack/internal/pa"
+)
+
+const (
+	codeBase  = 0x10000
+	stackBase = 0x7F000
+	stackSize = 0x1000
+)
+
+// build assembles src, maps code and a stack, and returns a ready
+// machine with SP at the top of the stack.
+func build(t *testing.T, src string) *Machine {
+	t.Helper()
+	prog, err := isa.Assemble(codeBase, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := mem.New()
+	codeLen := (prog.Size()/mem.PageSize + 1) * mem.PageSize
+	if err := mm.Map(codeBase, codeLen, mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.Map(stackBase, stackSize, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, mm, pa.New(pa.GenerateKeys(), pa.DefaultConfig()))
+	m.PC = codeBase
+	m.SetReg(isa.SP, stackBase+stackSize)
+	return m
+}
+
+func mustRun(t *testing.T, m *Machine) {
+	t.Helper()
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	// Sum 1..10 into X1.
+	m := build(t, `
+    movz X0, #10
+    movz X1, #0
+loop:
+    add X1, X1, X0
+    sub X0, X0, #1
+    cbnz X0, loop
+    hlt
+`)
+	mustRun(t, m)
+	if got := m.Reg(isa.X1); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	m := build(t, `
+main:
+    movz X0, #5
+    bl double
+    bl double
+    hlt
+double:
+    add X0, X0, X0
+    ret
+`)
+	mustRun(t, m)
+	if got := m.Reg(isa.X0); got != 20 {
+		t.Errorf("X0 = %d, want 20", got)
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	m := build(t, `
+main:
+    movz X0, #3
+    movz X9, =triple
+    blr X9
+    hlt
+triple:
+    movz X10, #3
+    mul X0, X0, X10
+    ret
+`)
+	mustRun(t, m)
+	if got := m.Reg(isa.X0); got != 9 {
+		t.Errorf("X0 = %d, want 9", got)
+	}
+}
+
+func TestStackPushPop(t *testing.T) {
+	m := build(t, `
+    movz X0, #111
+    movz X1, #222
+    stp X0, X1, [SP, #-16]!
+    movz X0, #0
+    movz X1, #0
+    ldp X2, X3, [SP], #16
+    hlt
+`)
+	sp0 := m.Reg(isa.SP)
+	mustRun(t, m)
+	if m.Reg(isa.X2) != 111 || m.Reg(isa.X3) != 222 {
+		t.Errorf("popped %d, %d", m.Reg(isa.X2), m.Reg(isa.X3))
+	}
+	if m.Reg(isa.SP) != sp0 {
+		t.Errorf("SP not balanced: %#x vs %#x", m.Reg(isa.SP), sp0)
+	}
+}
+
+func TestConditionalBranches(t *testing.T) {
+	// max(7, 12) via compare-and-branch.
+	m := build(t, `
+    movz X0, #7
+    movz X1, #12
+    cmp X0, X1
+    b.ge keep
+    mov X0, X1
+keep:
+    hlt
+`)
+	mustRun(t, m)
+	if m.Reg(isa.X0) != 12 {
+		t.Errorf("max = %d", m.Reg(isa.X0))
+	}
+}
+
+func TestSignedComparisons(t *testing.T) {
+	// -1 < 1 requires the N/V flag logic to be right.
+	m := build(t, `
+    movz X0, #0
+    sub X0, X0, #1
+    movz X1, #1
+    cmp X0, X1
+    b.lt less
+    movz X2, #0
+    hlt
+less:
+    movz X2, #1
+    hlt
+`)
+	mustRun(t, m)
+	if m.Reg(isa.X2) != 1 {
+		t.Error("-1 < 1 not taken")
+	}
+}
+
+func TestXZRSemantics(t *testing.T) {
+	m := build(t, `
+    movz X0, #5
+    mov X1, XZR
+    add X2, X0, XZR
+    hlt
+`)
+	mustRun(t, m)
+	if m.Reg(isa.X1) != 0 || m.Reg(isa.X2) != 5 {
+		t.Errorf("XZR reads: X1=%d X2=%d", m.Reg(isa.X1), m.Reg(isa.X2))
+	}
+	m.SetReg(isa.XZR, 99)
+	if m.Reg(isa.XZR) != 0 {
+		t.Error("write to XZR stuck")
+	}
+}
+
+func TestPaciaspRetaaRoundTrip(t *testing.T) {
+	// Listing 1: sign LR, spill, reload, verified return.
+	m := build(t, `
+main:
+    bl protected
+    hlt
+protected:
+    paciasp
+    str LR, [SP, #-16]!
+    movz X0, #77
+    ldr LR, [SP], #16
+    retaa
+`)
+	mustRun(t, m)
+	if m.Reg(isa.X0) != 77 {
+		t.Errorf("X0 = %d", m.Reg(isa.X0))
+	}
+}
+
+func TestRetaaDetectsCorruptedReturnAddress(t *testing.T) {
+	// The adversary overwrites the spilled, signed LR with a raw
+	// address; retaa must send the program into a translation fault.
+	m := build(t, `
+main:
+    bl protected
+    hlt
+victim:
+    hlt
+protected:
+    paciasp
+    str LR, [SP, #-16]!
+    svc #100
+    ldr LR, [SP], #16
+    retaa
+`)
+	adv := mem.NewAdversary(m.Mem)
+	m.Syscall = func(mc *Machine, imm int64) error {
+		// At the SVC the signed LR sits at [SP]; replace it with the
+		// attacker's target.
+		if err := adv.Poke(mc.Reg(isa.SP), mc.Prog.MustLookup("victim")); err != nil {
+			t.Fatal(err)
+		}
+		return nil
+	}
+	err := m.Run(1000)
+	if err == nil {
+		t.Fatal("corrupted return address did not fault")
+	}
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+	if !strings.Contains(f.Err.Error(), "non-canonical") && !strings.Contains(f.Err.Error(), "fetch") {
+		t.Errorf("unexpected fault cause: %v", f.Err)
+	}
+}
+
+func TestPaciaAutiaRegisterForms(t *testing.T) {
+	m := build(t, `
+    movz X0, #0x41000
+    movz X1, #1234
+    mov X2, X0
+    pacia X2, X1
+    autia X2, X1
+    hlt
+`)
+	mustRun(t, m)
+	if m.Reg(isa.X2) != m.Reg(isa.X0) {
+		t.Errorf("pacia/autia did not round-trip: %#x vs %#x", m.Reg(isa.X2), m.Reg(isa.X0))
+	}
+}
+
+func TestAutiaWrongModifierPoisonsPointer(t *testing.T) {
+	m := build(t, `
+    movz X0, #0x41000
+    pacia X0, X1      ; modifier X1 = 0
+    movz X1, #7
+    autia X0, X1      ; wrong modifier
+    hlt
+`)
+	mustRun(t, m)
+	if m.Auth.IsCanonical(m.Reg(isa.X0)) {
+		t.Error("failed autia left a canonical pointer")
+	}
+	if m.Auth.StripPAC(m.Reg(isa.X0)) != 0x41000 {
+		t.Error("failed autia corrupted address bits")
+	}
+}
+
+func TestXpaciStrips(t *testing.T) {
+	m := build(t, `
+    movz X0, #0x41000
+    movz X1, #99
+    pacia X0, X1
+    xpaci X0
+    hlt
+`)
+	mustRun(t, m)
+	if m.Reg(isa.X0) != 0x41000 {
+		t.Errorf("xpaci: %#x", m.Reg(isa.X0))
+	}
+}
+
+func TestPacgaTopHalf(t *testing.T) {
+	m := build(t, `
+    movz X1, #5
+    movz X2, #6
+    pacga X0, X1, X2
+    hlt
+`)
+	mustRun(t, m)
+	if m.Reg(isa.X0)&0xFFFFFFFF != 0 {
+		t.Errorf("pacga low half nonzero: %#x", m.Reg(isa.X0))
+	}
+}
+
+func TestWriteToCodeFaults(t *testing.T) {
+	m := build(t, `
+    movz X0, =main
+main:
+    str X1, [X0, #0]
+    hlt
+`)
+	if err := m.Run(100); err == nil {
+		t.Error("store to executable page succeeded")
+	}
+}
+
+func TestBranchToDataFaults(t *testing.T) {
+	m := build(t, `
+    movz X0, #0x7F000
+    br X0
+    hlt
+`)
+	if err := m.Run(100); err == nil {
+		t.Error("branch into data page succeeded")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := build(t, `
+spin:
+    b spin
+`)
+	if err := m.Run(100); !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestHaltedMachineRefusesSteps(t *testing.T) {
+	m := build(t, `hlt`)
+	mustRun(t, m)
+	if err := m.Step(); err == nil {
+		t.Error("step after halt succeeded")
+	}
+}
+
+func TestSyscallWithoutKernelFaults(t *testing.T) {
+	m := build(t, `svc #0`)
+	if err := m.Run(10); err == nil {
+		t.Error("svc with no handler succeeded")
+	}
+}
+
+func TestSyscallHandlerRuns(t *testing.T) {
+	m := build(t, `
+    movz X0, #41
+    svc #7
+    hlt
+`)
+	var gotImm int64
+	m.Syscall = func(mc *Machine, imm int64) error {
+		gotImm = imm
+		mc.SetReg(isa.X0, mc.Reg(isa.X0)+1)
+		return nil
+	}
+	mustRun(t, m)
+	if gotImm != 7 || m.Reg(isa.X0) != 42 {
+		t.Errorf("imm=%d X0=%d", gotImm, m.Reg(isa.X0))
+	}
+}
+
+func TestCycleAccountingPAC(t *testing.T) {
+	m := build(t, `
+    pacia X0, X1
+    hlt
+`)
+	mustRun(t, m)
+	want := uint64(DefaultCostModel().PAC + DefaultCostModel().Default)
+	if m.Cycles != want {
+		t.Errorf("cycles = %d, want %d", m.Cycles, want)
+	}
+	if m.Instrs != 2 {
+		t.Errorf("instrs = %d, want 2", m.Instrs)
+	}
+}
+
+func TestCostModelClasses(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.Cost(isa.LDP) != 2*cm.Load {
+		t.Error("LDP should cost two loads")
+	}
+	if cm.Cost(isa.RETAA) != cm.PAC+cm.Branch {
+		t.Error("RETAA should cost PAC + branch")
+	}
+	if cm.Cost(isa.NOP) != cm.Default {
+		t.Error("NOP should cost default")
+	}
+	if cm.Cost(isa.SVC) != cm.Syscall {
+		t.Error("SVC should cost a syscall")
+	}
+}
+
+func TestTraceObservesInstructions(t *testing.T) {
+	m := build(t, `
+    movz X0, #1
+    hlt
+`)
+	var ops []isa.Op
+	m.Trace = func(pc uint64, ins isa.Instr) { ops = append(ops, ins.Op) }
+	mustRun(t, m)
+	if len(ops) != 2 || ops[0] != isa.MOVZ || ops[1] != isa.HLT {
+		t.Errorf("trace = %v", ops)
+	}
+}
+
+func TestFaultIncludesSymbol(t *testing.T) {
+	m := build(t, `
+main:
+    movz X0, #0
+    ldr X1, [X0, #0]
+    hlt
+`)
+	err := m.Run(10)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v", err)
+	}
+	if f.Symbol != "main" {
+		t.Errorf("fault symbol = %q", f.Symbol)
+	}
+	var mf *mem.Fault
+	if !errors.As(err, &mf) {
+		t.Error("fault does not unwrap to the memory fault")
+	}
+}
+
+func TestRegisterFileContextSwitch(t *testing.T) {
+	m := build(t, `hlt`)
+	m.SetReg(isa.X5, 1234)
+	saved := m.Regs()
+	m.SetReg(isa.X5, 0)
+	m.SetRegs(saved)
+	if m.Reg(isa.X5) != 1234 {
+		t.Error("register file round-trip failed")
+	}
+}
+
+func TestBRIndirectJump(t *testing.T) {
+	m := build(t, `
+    movz X0, =there
+    br X0
+    hlt
+there:
+    movz X1, #5
+    hlt
+`)
+	mustRun(t, m)
+	if m.Reg(isa.X1) != 5 {
+		t.Errorf("X1 = %d; br did not land", m.Reg(isa.X1))
+	}
+}
+
+func TestPacibAutibRoundTrip(t *testing.T) {
+	m := build(t, `
+    movz X0, #0x41000
+    movz X1, #77
+    mov X2, X0
+    pacib X2, X1
+    autib X2, X1
+    hlt
+`)
+	mustRun(t, m)
+	if m.Reg(isa.X2) != m.Reg(isa.X0) {
+		t.Errorf("pacib/autib: %#x vs %#x", m.Reg(isa.X2), m.Reg(isa.X0))
+	}
+}
+
+func TestCrossKeyAuthFails(t *testing.T) {
+	m := build(t, `
+    movz X0, #0x41000
+    movz X1, #77
+    pacia X0, X1
+    autib X0, X1
+    hlt
+`)
+	mustRun(t, m)
+	if m.Auth.IsCanonical(m.Reg(isa.X0)) {
+		t.Error("IB authenticated an IA signature")
+	}
+}
+
+func TestAutiaspWrongSPPoisons(t *testing.T) {
+	m := build(t, `
+    paciasp
+    sub SP, SP, #16
+    autiasp
+    hlt
+`)
+	mustRun(t, m)
+	if m.Auth.IsCanonical(m.Reg(isa.LR)) && m.Reg(isa.LR) != 0 {
+		t.Error("autiasp with a different SP accepted the signature")
+	}
+}

@@ -1,0 +1,156 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"pacstack/internal/isa"
+	"pacstack/internal/mem"
+)
+
+// Differential check of the data-processing semantics: random
+// straight-line arithmetic programs are executed on the machine and
+// interpreted directly in Go; the final register files must agree.
+
+// randArith builds a random straight-line arithmetic program over
+// X0..X7 and the Go-side interpretation of it.
+func randArith(rng *rand.Rand, n int) ([]isa.Instr, func(regs *[8]uint64)) {
+	var ins []isa.Instr
+	var steps []func(r *[8]uint64)
+	reg := func() isa.Reg { return isa.Reg(rng.Intn(8)) }
+	for k := 0; k < n; k++ {
+		d, a, b := reg(), reg(), reg()
+		imm := int64(rng.Intn(1 << 20))
+		sh := int64(rng.Intn(64))
+		switch rng.Intn(10) {
+		case 0:
+			ins = append(ins, isa.Instr{Op: isa.MOVZ, Rd: d, Imm: imm})
+			steps = append(steps, func(r *[8]uint64) { r[d] = uint64(imm) })
+		case 1:
+			ins = append(ins, isa.Instr{Op: isa.MOV, Rd: d, Rn: a})
+			steps = append(steps, func(r *[8]uint64) { r[d] = r[a] })
+		case 2:
+			ins = append(ins, isa.Instr{Op: isa.ADD, Rd: d, Rn: a, Rm: b})
+			steps = append(steps, func(r *[8]uint64) { r[d] = r[a] + r[b] })
+		case 3:
+			ins = append(ins, isa.Instr{Op: isa.ADDI, Rd: d, Rn: a, Imm: imm})
+			steps = append(steps, func(r *[8]uint64) { r[d] = r[a] + uint64(imm) })
+		case 4:
+			ins = append(ins, isa.Instr{Op: isa.SUB, Rd: d, Rn: a, Rm: b})
+			steps = append(steps, func(r *[8]uint64) { r[d] = r[a] - r[b] })
+		case 5:
+			ins = append(ins, isa.Instr{Op: isa.EOR, Rd: d, Rn: a, Rm: b})
+			steps = append(steps, func(r *[8]uint64) { r[d] = r[a] ^ r[b] })
+		case 6:
+			ins = append(ins, isa.Instr{Op: isa.AND, Rd: d, Rn: a, Rm: b})
+			steps = append(steps, func(r *[8]uint64) { r[d] = r[a] & r[b] })
+		case 7:
+			ins = append(ins, isa.Instr{Op: isa.ORR, Rd: d, Rn: a, Rm: b})
+			steps = append(steps, func(r *[8]uint64) { r[d] = r[a] | r[b] })
+		case 8:
+			ins = append(ins, isa.Instr{Op: isa.MUL, Rd: d, Rn: a, Rm: b})
+			steps = append(steps, func(r *[8]uint64) { r[d] = r[a] * r[b] })
+		case 9:
+			if rng.Intn(2) == 0 {
+				ins = append(ins, isa.Instr{Op: isa.LSLI, Rd: d, Rn: a, Imm: sh})
+				steps = append(steps, func(r *[8]uint64) { r[d] = r[a] << uint(sh&63) })
+			} else {
+				ins = append(ins, isa.Instr{Op: isa.LSRI, Rd: d, Rn: a, Imm: sh})
+				steps = append(steps, func(r *[8]uint64) { r[d] = r[a] >> uint(sh&63) })
+			}
+		}
+	}
+	interp := func(r *[8]uint64) {
+		for _, s := range steps {
+			s(r)
+		}
+	}
+	return ins, interp
+}
+
+func TestArithmeticMatchesGoSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		ins, interp := randArith(rng, 40)
+		b := isa.NewBuilder(0x10000)
+		b.Emit(ins...)
+		b.Emit(isa.Instr{Op: isa.HLT})
+		prog := b.MustLink()
+
+		mm := mem.New()
+		if err := mm.Map(0x10000, 2*mem.PageSize, mem.PermRX); err != nil {
+			t.Fatal(err)
+		}
+		m := New(prog, mm, nil)
+		m.PC = 0x10000
+
+		var want [8]uint64
+		for i := range want {
+			want[i] = rng.Uint64()
+			m.SetReg(isa.Reg(i), want[i])
+		}
+		interp(&want)
+		if err := m.Run(1000); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if got := m.Reg(isa.Reg(i)); got != want[i] {
+				t.Fatalf("trial %d: X%d = %#x, want %#x", trial, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestFlagsMatchGoComparisons(t *testing.T) {
+	// CMP + every condition, against Go's comparison operators on
+	// signed values.
+	rng := rand.New(rand.NewSource(3))
+	conds := []struct {
+		c   isa.Cond
+		go_ func(a, b int64) bool
+	}{
+		{isa.EQ, func(a, b int64) bool { return a == b }},
+		{isa.NE, func(a, b int64) bool { return a != b }},
+		{isa.LT, func(a, b int64) bool { return a < b }},
+		{isa.LE, func(a, b int64) bool { return a <= b }},
+		{isa.GT, func(a, b int64) bool { return a > b }},
+		{isa.GE, func(a, b int64) bool { return a >= b }},
+	}
+	for trial := 0; trial < 500; trial++ {
+		a := int64(rng.Uint64())
+		bv := int64(rng.Uint64())
+		if trial%5 == 0 {
+			bv = a // exercise equality
+		}
+		for _, c := range conds {
+			b := isa.NewBuilder(0x10000)
+			b.Emit(
+				isa.Instr{Op: isa.CMP, Rn: isa.X0, Rm: isa.X1},
+				isa.Instr{Op: isa.BCND, Cond: c.c, Label: "taken"},
+				isa.Instr{Op: isa.MOVZ, Rd: isa.X2, Imm: 0},
+				isa.Instr{Op: isa.HLT},
+			)
+			b.Label("taken")
+			b.Emit(isa.Instr{Op: isa.MOVZ, Rd: isa.X2, Imm: 1}, isa.Instr{Op: isa.HLT})
+			prog := b.MustLink()
+			mm := mem.New()
+			if err := mm.Map(0x10000, mem.PageSize, mem.PermRX); err != nil {
+				t.Fatal(err)
+			}
+			m := New(prog, mm, nil)
+			m.PC = 0x10000
+			m.SetReg(isa.X0, uint64(a))
+			m.SetReg(isa.X1, uint64(bv))
+			if err := m.Run(10); err != nil {
+				t.Fatal(err)
+			}
+			want := uint64(0)
+			if c.go_(a, bv) {
+				want = 1
+			}
+			if got := m.Reg(isa.X2); got != want {
+				t.Fatalf("a=%d b=%d cond=%v: taken=%d, want %d", a, bv, c.c, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package gadget statically scans compiled images for return-oriented
+// programming gadgets, quantifying the Section 9.2 observation that
+// PACStack-protected code "effectively removes a potentially large set
+// of reusable gadgets from the adversary's disposal".
+//
+// A gadget is an instruction suffix ending in a return. It is *usable*
+// for ROP chaining when the return target is loaded from memory the
+// adversary can write (the stack, or the known-location shadow stack)
+// and reaches the return without authentication. Returns that
+// authenticate the loaded value (autia/retaa) are *guarded*: chaining
+// through them requires forging a PAC. Returns whose LR was never
+// redefined in the suffix merely *inherit* the live link register,
+// which the adversary cannot write directly.
+package gadget
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pacstack/internal/isa"
+)
+
+// Kind classifies a gadget.
+type Kind int
+
+// Gadget classes.
+const (
+	// Usable: return target loaded from attacker-writable memory and
+	// not authenticated — a chainable ROP gadget.
+	Usable Kind = iota
+	// Guarded: the loaded return target is authenticated before use;
+	// chaining requires defeating the MAC.
+	Guarded
+	// Inherited: the suffix never redefines LR; the return consumes a
+	// live register value.
+	Inherited
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Usable:
+		return "usable"
+	case Guarded:
+		return "guarded"
+	case Inherited:
+		return "inherited"
+	}
+	return "unknown"
+}
+
+// Gadget is one discovered instruction suffix ending in a return.
+type Gadget struct {
+	Entry  uint64 // address of the first instruction of the suffix
+	Ret    uint64 // address of the terminating return
+	Len    int    // instructions including the return
+	Kind   Kind
+	Symbol string // enclosing symbol of the return
+}
+
+// MaxLen is the default maximum gadget length scanned, matching the
+// short sequences ROP compilers look for.
+const MaxLen = 8
+
+// Scan enumerates all gadgets of length up to maxLen (0 = MaxLen) in
+// the program.
+func Scan(prog *isa.Program, maxLen int) []Gadget {
+	if maxLen <= 0 {
+		maxLen = MaxLen
+	}
+	var out []Gadget
+	for idx, ins := range prog.Instrs {
+		if ins.Op != isa.RET && ins.Op != isa.RETAA {
+			continue
+		}
+		retAddr := prog.Base + uint64(idx)*isa.InstrSize
+		sym, _ := prog.SymbolFor(retAddr)
+		if i := strings.IndexByte(sym, '$'); i >= 0 {
+			sym = sym[:i]
+		}
+		for l := 1; l <= maxLen && idx-l+1 >= 0; l++ {
+			start := idx - l + 1
+			// A gadget must execute as a straight line: stop extending
+			// once the walk hits another control transfer.
+			if l > 1 && isControlTransfer(prog.Instrs[start].Op) {
+				break
+			}
+			g := Gadget{
+				Entry:  prog.Base + uint64(start)*isa.InstrSize,
+				Ret:    retAddr,
+				Len:    l,
+				Kind:   classify(prog.Instrs[start : idx+1]),
+				Symbol: sym,
+			}
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// isControlTransfer reports whether op unconditionally redirects or
+// ends execution. Conditional branches fall through, so a straight-
+// line gadget may contain them.
+func isControlTransfer(op isa.Op) bool {
+	switch op {
+	case isa.B, isa.BL, isa.BR, isa.BLR, isa.RET, isa.RETAA, isa.HLT:
+		return true
+	}
+	return false
+}
+
+// classify walks a suffix tracking how the return target is produced.
+// Authentication takes precedence: a return whose LR passed through an
+// aut instruction after its last definition requires a valid PAC no
+// matter where the value came from.
+func classify(seq []isa.Instr) Kind {
+	lrLoaded := false // LR set from attacker-writable memory
+	lrAuthed := false // an aut instruction covers the current LR value
+	for _, ins := range seq[:len(seq)-1] {
+		switch ins.Op {
+		case isa.LDR, isa.LDRPOST:
+			if ins.Rd == isa.LR {
+				lrLoaded, lrAuthed = true, false
+			}
+		case isa.LDP, isa.LDPPOST:
+			if ins.Rd == isa.LR || ins.Rm == isa.LR {
+				lrLoaded, lrAuthed = true, false
+			}
+		case isa.MOV, isa.MOVZ:
+			if ins.Rd == isa.LR {
+				// Register-to-register or immediate: not directly
+				// attacker-writable; clears any earlier load and any
+				// earlier authentication.
+				lrLoaded, lrAuthed = false, false
+			}
+		case isa.AUTIA, isa.AUTIB:
+			if ins.Rd == isa.LR {
+				lrAuthed = true
+			}
+		case isa.AUTIASP:
+			lrAuthed = true
+		case isa.EOR:
+			// Mask removal keeps the loaded/authed state as is.
+		}
+	}
+	ret := seq[len(seq)-1]
+	if ret.Op == isa.RETAA {
+		return Guarded
+	}
+	// RET via a register other than LR consumes a live register.
+	if ret.Rn != isa.LR {
+		return Inherited
+	}
+	switch {
+	case lrAuthed:
+		return Guarded
+	case lrLoaded:
+		return Usable
+	default:
+		return Inherited
+	}
+}
+
+// Filter returns the gadgets satisfying keep.
+func Filter(gs []Gadget, keep func(Gadget) bool) []Gadget {
+	var out []Gadget
+	for _, g := range gs {
+		if keep(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// UserCode filters out the compiler runtime (symbols prefixed "__"):
+// the plain libc-analogue setjmp/longjmp in the runtime is an
+// unauthenticated gadget by construction, a property of the C library
+// rather than of the protection scheme under study.
+func UserCode(gs []Gadget) []Gadget {
+	return Filter(gs, func(g Gadget) bool {
+		return !strings.HasPrefix(g.Symbol, "__") && g.Symbol != "_start"
+	})
+}
+
+// Summary counts gadgets by kind.
+func Summary(gs []Gadget) map[Kind]int {
+	out := make(map[Kind]int)
+	for _, g := range gs {
+		out[g.Kind]++
+	}
+	return out
+}
+
+// UsableReturns counts the distinct return sites (not suffixes) that
+// are reachable as usable gadgets — the attacker's working set.
+func UsableReturns(gs []Gadget) int {
+	seen := make(map[uint64]bool)
+	for _, g := range gs {
+		if g.Kind == Usable {
+			seen[g.Ret] = true
+		}
+	}
+	return len(seen)
+}
+
+// Report renders a per-kind summary plus the usable return sites
+// grouped by symbol.
+func Report(gs []Gadget) string {
+	var b strings.Builder
+	sum := Summary(gs)
+	fmt.Fprintf(&b, "gadget suffixes: %d usable, %d guarded, %d inherited\n",
+		sum[Usable], sum[Guarded], sum[Inherited])
+	fmt.Fprintf(&b, "usable return sites: %d\n", UsableReturns(gs))
+
+	bySym := map[string]int{}
+	seen := map[uint64]bool{}
+	for _, g := range gs {
+		if g.Kind == Usable && !seen[g.Ret] {
+			seen[g.Ret] = true
+			bySym[g.Symbol]++
+		}
+	}
+	syms := make([]string, 0, len(bySym))
+	for s := range bySym {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	for _, s := range syms {
+		fmt.Fprintf(&b, "  %-24s %d\n", s, bySym[s])
+	}
+	return b.String()
+}

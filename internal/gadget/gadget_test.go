@@ -1,0 +1,184 @@
+package gadget
+
+import (
+	"strings"
+	"testing"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/ir"
+	"pacstack/internal/isa"
+)
+
+func libProgram() *ir.Program {
+	// A library-shaped program: several non-leaf functions whose
+	// epilogues are the gadget population.
+	fns := []*ir.Function{
+		{Name: "main", Body: []ir.Op{ir.Call{Target: "a"}}},
+		{Name: "a", Locals: 2, Body: []ir.Op{ir.StoreLocal{Slot: 0, Value: 1}, ir.Call{Target: "b"}}},
+		{Name: "b", Locals: 1, Body: []ir.Op{ir.Call{Target: "c"}}},
+		{Name: "c", Body: []ir.Op{ir.Call{Target: "leaf"}}},
+		{Name: "leaf", Body: []ir.Op{ir.Compute{Units: 2}}},
+	}
+	return &ir.Program{Entry: "main", Functions: fns}
+}
+
+func scanScheme(t *testing.T, s compile.Scheme) []Gadget {
+	t.Helper()
+	img, err := compile.Compile(libProgram(), s, compile.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return UserCode(Scan(img.Prog, 0))
+}
+
+func TestRuntimeLongjmpIsAKnownGadget(t *testing.T) {
+	// The plain libc-analogue longjmp loads LR from the jmp_buf and
+	// returns unauthenticated — a usable gadget the scanner must not
+	// paper over. (PACStack builds call the authenticated wrapper
+	// instead; hardening the C library itself is the Section 9.2
+	// deployment discussion.)
+	img, err := compile.Compile(libProgram(), compile.SchemePACStack, compile.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := Scan(img.Prog, 0)
+	found := false
+	for _, g := range all {
+		if g.Symbol == "__longjmp" && g.Kind == Usable {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("scanner missed the unauthenticated runtime longjmp")
+	}
+}
+
+func TestBaselineEpiloguesAreUsable(t *testing.T) {
+	gs := scanScheme(t, compile.SchemeNone)
+	if UsableReturns(gs) < 3 {
+		t.Errorf("baseline usable returns = %d, want >= 3 (a, b, c epilogues)", UsableReturns(gs))
+	}
+}
+
+func TestPACStackRemovesUsableGadgets(t *testing.T) {
+	// The Section 9.2 claim: protected functions validate their
+	// return addresses, removing their epilogues from the gadget set.
+	for _, s := range []compile.Scheme{compile.SchemePACStack, compile.SchemePACStackNoMask} {
+		gs := scanScheme(t, s)
+		if n := UsableReturns(gs); n != 0 {
+			t.Errorf("%v: %d usable return sites, want 0", s, n)
+			for _, g := range gs {
+				if g.Kind == Usable {
+					t.Logf("usable: %s ret@%#x len %d", g.Symbol, g.Ret, g.Len)
+				}
+			}
+		}
+		sum := Summary(gs)
+		if sum[Guarded] == 0 {
+			t.Errorf("%v: no guarded gadgets found; scanner is blind", s)
+		}
+	}
+}
+
+func TestBranchProtectionGuardsEpilogues(t *testing.T) {
+	gs := scanScheme(t, compile.SchemeBranchProtection)
+	if n := UsableReturns(gs); n != 0 {
+		t.Errorf("retaa epilogues counted usable: %d", n)
+	}
+}
+
+func TestShadowStackStillUsable(t *testing.T) {
+	// The shadow stack reload is a plain memory load from a known,
+	// writable region — its epilogues remain usable gadgets under the
+	// full-disclosure adversary, consistent with the dynamic reuse
+	// attack result.
+	gs := scanScheme(t, compile.SchemeShadowStack)
+	if n := UsableReturns(gs); n < 3 {
+		t.Errorf("shadow-stack usable returns = %d, want >= 3", n)
+	}
+}
+
+func TestCanaryDoesNotGuardReturns(t *testing.T) {
+	gs := scanScheme(t, compile.SchemeCanary)
+	if n := UsableReturns(gs); n < 3 {
+		t.Errorf("canary usable returns = %d; canaries must not count as guards", n)
+	}
+}
+
+func TestOrderingAcrossSchemes(t *testing.T) {
+	usable := map[compile.Scheme]int{}
+	for _, s := range compile.Schemes {
+		usable[s] = UsableReturns(scanScheme(t, s))
+	}
+	if !(usable[compile.SchemePACStack] < usable[compile.SchemeNone]) {
+		t.Errorf("PACStack (%d) did not reduce the baseline gadget set (%d)",
+			usable[compile.SchemePACStack], usable[compile.SchemeNone])
+	}
+	if usable[compile.SchemeCanary] != usable[compile.SchemeNone] {
+		t.Errorf("canary changed the usable set: %d vs %d",
+			usable[compile.SchemeCanary], usable[compile.SchemeNone])
+	}
+}
+
+func TestClassifyDirectSequences(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want Kind
+	}{
+		{"classic pop-ret", "ldp FP, LR, [SP], #16\nret", Usable},
+		{"ldr-ret", "ldr LR, [SP], #16\nret", Usable},
+		{"authenticated", "ldr LR, [SP], #16\nautia LR, X28\nret", Guarded},
+		{"retaa", "ldr LR, [SP], #16\nretaa", Guarded},
+		{"bare ret", "add X0, X0, #1\nret", Inherited},
+		{"ret via register", "ret X17", Inherited},
+		{"mov clears load", "ldr LR, [SP], #16\nmov LR, X28\nret", Inherited},
+		{"autiasp", "ldr LR, [SP], #16\nautiasp\nret", Guarded},
+		{"reload after auth", "ldr LR, [SP], #16\nautia LR, X28\nldr LR, [SP, #8]\nret", Usable},
+	}
+	for _, c := range cases {
+		prog := isa.MustAssemble(0x1000, c.src)
+		gs := Scan(prog, 16)
+		// The longest suffix covers the whole sequence.
+		var full Gadget
+		for _, g := range gs {
+			if g.Entry == 0x1000 {
+				full = g
+			}
+		}
+		if full.Kind != c.want {
+			t.Errorf("%s: classified %v, want %v", c.name, full.Kind, c.want)
+		}
+	}
+}
+
+func TestScanLengthBound(t *testing.T) {
+	prog := isa.MustAssemble(0x1000, `
+    add X0, X0, #1
+    add X0, X0, #1
+    add X0, X0, #1
+    ret
+`)
+	gs := Scan(prog, 2)
+	for _, g := range gs {
+		if g.Len > 2 {
+			t.Errorf("gadget of length %d with bound 2", g.Len)
+		}
+	}
+	if len(gs) != 2 {
+		t.Errorf("got %d gadgets, want 2", len(gs))
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	gs := scanScheme(t, compile.SchemeNone)
+	rep := Report(gs)
+	for _, want := range []string{"usable", "guarded", "return sites"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if (Kind(99)).String() != "unknown" {
+		t.Error("unknown kind string")
+	}
+}

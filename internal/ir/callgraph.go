@@ -1,0 +1,122 @@
+package ir
+
+import "sort"
+
+// CallGraph maps each function to the set of functions it may call.
+// The PACStack security analysis distinguishes control-flow
+// violations that stay on this graph from ones that leave it
+// (Section 6.2); the attack harness uses CallGraph to enumerate both
+// kinds of target.
+type CallGraph struct {
+	edges map[string]map[string]bool
+}
+
+// BuildCallGraph computes the static call graph of p.
+func BuildCallGraph(p *Program) *CallGraph {
+	g := &CallGraph{edges: make(map[string]map[string]bool)}
+	for _, f := range p.Functions {
+		g.edges[f.Name] = make(map[string]bool)
+		collectCalls(f.Body, g.edges[f.Name])
+	}
+	return g
+}
+
+func collectCalls(ops []Op, out map[string]bool) {
+	for _, op := range ops {
+		switch o := op.(type) {
+		case Call:
+			out[o.Target] = true
+		case CallPtr:
+			out[o.Target] = true
+		case TailCall:
+			out[o.Target] = true
+		case Loop:
+			collectCalls(o.Body, out)
+		case IfNZ:
+			collectCalls(o.Then, out)
+		}
+	}
+}
+
+// Calls reports whether caller has an edge to callee.
+func (g *CallGraph) Calls(caller, callee string) bool {
+	return g.edges[caller][callee]
+}
+
+// Callees returns the sorted call targets of a function.
+func (g *CallGraph) Callees(caller string) []string {
+	var out []string
+	for c := range g.edges[caller] {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Callers returns the sorted set of functions calling callee.
+func (g *CallGraph) Callers(callee string) []string {
+	var out []string
+	for from, tos := range g.edges {
+		if tos[callee] {
+			out = append(out, from)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reachable returns every function reachable from start, including
+// start itself.
+func (g *CallGraph) Reachable(start string) []string {
+	seen := map[string]bool{start: true}
+	stack := []string{start}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range g.edges[cur] {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Paths enumerates up to limit distinct call paths from `from` to
+// `to` of length at most maxDepth, as sequences of function names.
+// Cycles in the call graph make the path count explode combinatorially
+// (Section 6.2.1) — exactly the property the collision-harvesting
+// adversary exploits — so enumeration is bounded.
+func (g *CallGraph) Paths(from, to string, maxDepth, limit int) [][]string {
+	var out [][]string
+	var walk func(cur string, path []string)
+	walk = func(cur string, path []string) {
+		if len(out) >= limit {
+			return
+		}
+		path = append(path, cur)
+		if len(path) > maxDepth {
+			return
+		}
+		if cur == to && len(path) > 1 {
+			cp := make([]string, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+			// Paths may continue through `to` again via a cycle.
+		}
+		for _, next := range g.Callees(cur) {
+			walk(next, path)
+		}
+	}
+	if from == to {
+		out = append(out, []string{from})
+	}
+	walk(from, nil)
+	return out
+}

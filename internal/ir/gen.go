@@ -1,0 +1,180 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig bounds the random program generator.
+type GenConfig struct {
+	Functions int // number of functions besides main and the leaves
+	MaxOps    int // ops per function body
+	MaxLocals int // locals per function
+	MaxLoop   int // loop trip count
+	// TailCalls / Jmp enable the trickier constructs.
+	TailCalls bool
+	Jmp       bool
+}
+
+// DefaultGenConfig returns bounds that produce programs exercising
+// every construct while still terminating quickly.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Functions: 8,
+		MaxOps:    6,
+		MaxLocals: 3,
+		MaxLoop:   3,
+		TailCalls: true,
+		Jmp:       true,
+	}
+}
+
+// Generate builds a random, valid, terminating program from the seed.
+// Programs are deterministic per (cfg, seed) and always validate.
+//
+// Termination is guaranteed structurally: function k may only call
+// functions with larger indices (plus the shared leaf), so the static
+// call graph is acyclic, and loops have bounded trip counts. The
+// differential test in internal/compile runs these programs under
+// every protection scheme and demands identical observable behaviour.
+func Generate(cfg GenConfig, seed int64) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Program{Entry: "main"}
+
+	names := make([]string, cfg.Functions)
+	for i := range names {
+		names[i] = fmt.Sprintf("fn%d", i)
+	}
+
+	// main calls a few low-index functions.
+	var mainOps []Op
+	mainOps = append(mainOps, Write{Byte: '('})
+	for n := 1 + rng.Intn(3); n > 0 && cfg.Functions > 0; n-- {
+		mainOps = append(mainOps, Call{Target: names[rng.Intn(max(cfg.Functions/2, 1))]})
+	}
+	jmpBuf := -1
+	if cfg.Jmp && rng.Intn(2) == 0 {
+		// The setjmp idiom with a bounded recovery path; generated
+		// functions may longjmp here, after which main exits — so the
+		// jump happens at most once and the run stays deterministic.
+		jmpBuf = rng.Intn(MaxJmpBufs)
+		mainOps = append([]Op{
+			SetJmp{Buf: jmpBuf},
+			IfNZ{Then: []Op{Write{Byte: 'J'}, Exit{Code: 0}}},
+		}, mainOps...)
+	}
+	mainOps = append(mainOps, Write{Byte: ')'})
+	p.Functions = append(p.Functions, &Function{Name: "main", Body: mainOps})
+
+	g := &generator{cfg: cfg, rng: rng, names: names, jmpBuf: jmpBuf}
+	for i := range names {
+		p.Functions = append(p.Functions, g.function(i))
+	}
+	p.Functions = append(p.Functions, &Function{
+		Name: "sink",
+		Body: []Op{Compute{Units: 3}},
+	})
+
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("ir: generator produced invalid program: %v", err))
+	}
+	return p
+}
+
+type generator struct {
+	cfg    GenConfig
+	rng    *rand.Rand
+	names  []string
+	jmpBuf int // -1 when main has no setjmp
+}
+
+// callee picks a call target with an index greater than from, or the
+// leaf sink when from is the last function.
+func (g *generator) callee(from int) string {
+	if from+1 >= len(g.names) {
+		return "sink"
+	}
+	idx := from + 1 + g.rng.Intn(len(g.names)-from-1)
+	if g.rng.Intn(4) == 0 {
+		return "sink"
+	}
+	return g.names[idx]
+}
+
+func (g *generator) function(idx int) *Function {
+	locals := g.rng.Intn(g.cfg.MaxLocals + 1)
+	f := &Function{
+		Name:           g.names[idx],
+		Locals:         locals,
+		Uninstrumented: g.rng.Intn(8) == 0, // occasional vendor code (Section 9.2)
+	}
+	nops := 1 + g.rng.Intn(g.cfg.MaxOps)
+	for k := 0; k < nops; k++ {
+		f.Body = append(f.Body, g.op(idx, locals, 0))
+	}
+	// Occasionally end in a tail call (always to a later function, so
+	// the graph stays acyclic).
+	if g.cfg.TailCalls && g.rng.Intn(4) == 0 {
+		f.Body = append(f.Body, TailCall{Target: g.callee(idx)})
+	}
+	return f
+}
+
+func (g *generator) op(idx, locals, depth int) Op {
+	for {
+		switch g.rng.Intn(9) {
+		case 8:
+			// Rare non-local exit back to main's setjmp.
+			if g.jmpBuf < 0 || g.rng.Intn(4) != 0 {
+				continue
+			}
+			return LongJmp{Buf: g.jmpBuf, Value: 1}
+		case 0:
+			return Compute{Units: g.rng.Intn(12)}
+		case 1:
+			if locals == 0 {
+				continue
+			}
+			return StoreLocal{Slot: g.rng.Intn(locals), Value: int64(g.rng.Intn(100))}
+		case 2:
+			if locals == 0 {
+				continue
+			}
+			return LoadLocal{Slot: g.rng.Intn(locals)}
+		case 3:
+			return Call{Target: g.callee(idx)}
+		case 4:
+			return CallPtr{Target: g.callee(idx)}
+		case 5:
+			if depth >= 2 {
+				continue
+			}
+			body := []Op{g.op(idx, locals, depth+1)}
+			if g.rng.Intn(2) == 0 {
+				body = append(body, g.op(idx, locals, depth+1))
+			}
+			return Loop{Count: g.rng.Intn(g.cfg.MaxLoop + 1), Body: body}
+		case 6:
+			return Write{Byte: byte('a' + g.rng.Intn(26))}
+		case 7:
+			if locals == 0 {
+				continue
+			}
+			// Store-then-assert keeps the assertion trivially true in
+			// a correct execution while still probing frame layout.
+			v := int64(g.rng.Intn(50))
+			slot := g.rng.Intn(locals)
+			return Loop{Count: 1, Body: []Op{
+				StoreLocal{Slot: slot, Value: v},
+				AssertLocal{Slot: slot, Value: v},
+			}}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

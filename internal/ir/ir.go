@@ -1,0 +1,252 @@
+// Package ir defines the function-level intermediate representation
+// that the synthetic workloads and attack fixtures are written in, and
+// that internal/compile lowers to machine code under a selectable
+// return-address protection scheme.
+//
+// The IR deliberately models only what the paper's instrumentation
+// transforms care about: the call structure (direct, indirect, tail
+// calls), stack frames with addressable locals (the overflow targets),
+// loops, and units of straight-line compute. Everything else about a
+// C program is irrelevant to prologue/epilogue instrumentation.
+package ir
+
+import "fmt"
+
+// Program is a set of functions with a designated entry point.
+type Program struct {
+	Entry     string
+	Functions []*Function
+}
+
+// Function is one compilation unit.
+type Function struct {
+	Name string
+	// Locals is the number of 8-byte addressable stack slots. A
+	// function with Locals > 0 models a function with a local buffer
+	// — the target -mstack-protector-strong instruments.
+	Locals int
+	// Uninstrumented marks the function as compiled without the
+	// active protection scheme — the Section 9.2 interoperability
+	// scenario of mixing protected and unprotected code.
+	Uninstrumented bool
+	Body           []Op
+}
+
+// Op is one IR operation.
+type Op interface {
+	isOp()
+	fmt.Stringer
+}
+
+// Compute models Units of straight-line ALU work.
+type Compute struct{ Units int }
+
+// StoreLocal writes an immediate to a local slot.
+type StoreLocal struct {
+	Slot  int
+	Value int64
+}
+
+// LoadLocal reads a local slot (into scratch; models buffer use).
+type LoadLocal struct{ Slot int }
+
+// Call is a direct call.
+type Call struct{ Target string }
+
+// CallPtr is an indirect call through a function pointer; it lowers
+// to BLR and is subject to the coarse-grained forward-edge CFI of
+// assumption A2.
+type CallPtr struct{ Target string }
+
+// TailCall replaces the function's return with a non-linking branch
+// (paper Listing 8). It must be the last operation in a body.
+type TailCall struct{ Target string }
+
+// Loop repeats Body Count times. The loop counter lives in a hidden
+// stack slot so arbitrarily nested loops and calls cannot clobber it.
+type Loop struct {
+	Count int
+	Body  []Op
+}
+
+// Write emits one byte of observable program output (SysWrite).
+type Write struct{ Byte byte }
+
+// SetJmp calls setjmp on the process-global jmp_buf number Buf (the
+// scheme-appropriate wrapper is selected at compile time). The result
+// lands in X0 and can be tested with IfNZ.
+type SetJmp struct{ Buf int }
+
+// LongJmp calls longjmp on jmp_buf Buf with the given value.
+type LongJmp struct {
+	Buf   int
+	Value int64
+}
+
+// IfNZ executes Then when the last call's result (X0) was non-zero.
+// Its primary use is the setjmp idiom: SetJmp, IfNZ{recovery path}.
+type IfNZ struct{ Then []Op }
+
+// Exit terminates the whole process with the given code.
+type Exit struct{ Code int64 }
+
+// AssertLocal terminates the process with exit code 77 unless local
+// Slot holds Value. The compatibility suite uses it to detect frame
+// corruption across calls and unwinding.
+type AssertLocal struct {
+	Slot  int
+	Value int64
+}
+
+// ValidateFrames invokes the Section 9.1 frame-by-frame ACS validator
+// (__acs_validate) on up to Max caller frames and writes the count of
+// frames that verified as a single ASCII digit to the output, so the
+// result is observable. Max must be 0..9.
+type ValidateFrames struct{ Max int }
+
+func (Compute) isOp()        {}
+func (StoreLocal) isOp()     {}
+func (LoadLocal) isOp()      {}
+func (Call) isOp()           {}
+func (CallPtr) isOp()        {}
+func (TailCall) isOp()       {}
+func (Loop) isOp()           {}
+func (Write) isOp()          {}
+func (SetJmp) isOp()         {}
+func (LongJmp) isOp()        {}
+func (IfNZ) isOp()           {}
+func (Exit) isOp()           {}
+func (AssertLocal) isOp()    {}
+func (ValidateFrames) isOp() {}
+
+func (o Compute) String() string    { return fmt.Sprintf("compute %d", o.Units) }
+func (o StoreLocal) String() string { return fmt.Sprintf("local[%d] = %d", o.Slot, o.Value) }
+func (o LoadLocal) String() string  { return fmt.Sprintf("use local[%d]", o.Slot) }
+func (o Call) String() string       { return "call " + o.Target }
+func (o CallPtr) String() string    { return "call *" + o.Target }
+func (o TailCall) String() string   { return "tailcall " + o.Target }
+func (o Loop) String() string       { return fmt.Sprintf("loop %d {%d ops}", o.Count, len(o.Body)) }
+func (o Write) String() string      { return fmt.Sprintf("write %q", string(o.Byte)) }
+func (o SetJmp) String() string     { return fmt.Sprintf("setjmp buf%d", o.Buf) }
+func (o LongJmp) String() string    { return fmt.Sprintf("longjmp buf%d, %d", o.Buf, o.Value) }
+func (o IfNZ) String() string       { return fmt.Sprintf("ifnz {%d ops}", len(o.Then)) }
+func (o Exit) String() string       { return fmt.Sprintf("exit %d", o.Code) }
+func (o AssertLocal) String() string {
+	return fmt.Sprintf("assert local[%d] == %d", o.Slot, o.Value)
+}
+func (o ValidateFrames) String() string { return fmt.Sprintf("validate %d frames", o.Max) }
+
+// Function lookup.
+func (p *Program) Function(name string) *Function {
+	for _, f := range p.Functions {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsLeaf reports whether f makes no calls at all — such functions
+// never spill LR and are excluded from instrumentation by every
+// scheme, matching the paper's heuristic (Section 7.1).
+func (f *Function) IsLeaf() bool {
+	return !anyCall(f.Body)
+}
+
+func anyCall(ops []Op) bool {
+	for _, op := range ops {
+		switch o := op.(type) {
+		case Call, CallPtr, TailCall, SetJmp, LongJmp, ValidateFrames:
+			return true
+		case Loop:
+			if anyCall(o.Body) {
+				return true
+			}
+		case IfNZ:
+			if anyCall(o.Then) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MaxJmpBufs is the number of process-global jmp_buf slots.
+const MaxJmpBufs = 8
+
+// Validate checks structural invariants: defined entry, resolvable
+// call targets, tail calls in tail position, sane slot indices.
+func (p *Program) Validate() error {
+	if p.Function(p.Entry) == nil {
+		return fmt.Errorf("ir: entry function %q not defined", p.Entry)
+	}
+	for _, f := range p.Functions {
+		if err := p.validateOps(f, f.Body, true); err != nil {
+			return fmt.Errorf("ir: in %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateOps(f *Function, ops []Op, tailPosition bool) error {
+	for i, op := range ops {
+		last := tailPosition && i == len(ops)-1
+		switch o := op.(type) {
+		case Call:
+			if p.Function(o.Target) == nil {
+				return fmt.Errorf("call to undefined %q", o.Target)
+			}
+		case CallPtr:
+			if p.Function(o.Target) == nil {
+				return fmt.Errorf("indirect call to undefined %q", o.Target)
+			}
+		case TailCall:
+			if p.Function(o.Target) == nil {
+				return fmt.Errorf("tail call to undefined %q", o.Target)
+			}
+			if !last {
+				return fmt.Errorf("tail call to %q not in tail position", o.Target)
+			}
+		case StoreLocal:
+			if o.Slot < 0 || o.Slot >= f.Locals {
+				return fmt.Errorf("store to local %d of %d", o.Slot, f.Locals)
+			}
+		case LoadLocal:
+			if o.Slot < 0 || o.Slot >= f.Locals {
+				return fmt.Errorf("load of local %d of %d", o.Slot, f.Locals)
+			}
+		case Loop:
+			if o.Count < 0 {
+				return fmt.Errorf("negative loop count %d", o.Count)
+			}
+			if err := p.validateOps(f, o.Body, false); err != nil {
+				return err
+			}
+		case Compute:
+			if o.Units < 0 {
+				return fmt.Errorf("negative compute %d", o.Units)
+			}
+		case SetJmp:
+			if o.Buf < 0 || o.Buf >= MaxJmpBufs {
+				return fmt.Errorf("jmp_buf %d out of range", o.Buf)
+			}
+		case LongJmp:
+			if o.Buf < 0 || o.Buf >= MaxJmpBufs {
+				return fmt.Errorf("jmp_buf %d out of range", o.Buf)
+			}
+		case IfNZ:
+			if err := p.validateOps(f, o.Then, false); err != nil {
+				return err
+			}
+		case AssertLocal:
+			if o.Slot < 0 || o.Slot >= f.Locals {
+				return fmt.Errorf("assert of local %d of %d", o.Slot, f.Locals)
+			}
+		case ValidateFrames:
+			if o.Max < 0 || o.Max > 9 {
+				return fmt.Errorf("validate frame count %d out of 0..9", o.Max)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func prog() *Program {
+	return &Program{
+		Entry: "main",
+		Functions: []*Function{
+			{Name: "main", Body: []Op{
+				Call{Target: "a"},
+				Loop{Count: 2, Body: []Op{Call{Target: "b"}}},
+			}},
+			{Name: "a", Body: []Op{Call{Target: "b"}}},
+			{Name: "b", Body: []Op{Call{Target: "a"}, Call{Target: "leaf"}}}, // cycle a <-> b
+			{Name: "leaf", Body: []Op{Compute{Units: 3}}},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := prog().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]*Program{
+		"missing entry": {Entry: "nope"},
+		"undefined call": {Entry: "f", Functions: []*Function{
+			{Name: "f", Body: []Op{Call{Target: "ghost"}}},
+		}},
+		"undefined indirect": {Entry: "f", Functions: []*Function{
+			{Name: "f", Body: []Op{CallPtr{Target: "ghost"}}},
+		}},
+		"undefined tail": {Entry: "f", Functions: []*Function{
+			{Name: "f", Body: []Op{TailCall{Target: "ghost"}}},
+		}},
+		"tail not last": {Entry: "f", Functions: []*Function{
+			{Name: "f", Body: []Op{TailCall{Target: "f"}, Compute{Units: 1}}},
+		}},
+		"bad local store": {Entry: "f", Functions: []*Function{
+			{Name: "f", Locals: 1, Body: []Op{StoreLocal{Slot: 1}}},
+		}},
+		"bad local load": {Entry: "f", Functions: []*Function{
+			{Name: "f", Body: []Op{LoadLocal{Slot: 0}}},
+		}},
+		"negative loop": {Entry: "f", Functions: []*Function{
+			{Name: "f", Body: []Op{Loop{Count: -1}}},
+		}},
+		"negative compute": {Entry: "f", Functions: []*Function{
+			{Name: "f", Body: []Op{Compute{Units: -1}}},
+		}},
+		"jmpbuf range": {Entry: "f", Functions: []*Function{
+			{Name: "f", Body: []Op{SetJmp{Buf: MaxJmpBufs}}},
+		}},
+		"longjmp range": {Entry: "f", Functions: []*Function{
+			{Name: "f", Body: []Op{LongJmp{Buf: -1}}},
+		}},
+		"nested bad op": {Entry: "f", Functions: []*Function{
+			{Name: "f", Body: []Op{IfNZ{Then: []Op{Call{Target: "ghost"}}}}},
+		}},
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestIsLeaf(t *testing.T) {
+	cases := []struct {
+		f    *Function
+		leaf bool
+	}{
+		{&Function{Name: "x", Body: []Op{Compute{Units: 5}}}, true},
+		{&Function{Name: "x", Body: []Op{Call{Target: "y"}}}, false},
+		{&Function{Name: "x", Body: []Op{Loop{Count: 1, Body: []Op{CallPtr{Target: "y"}}}}}, false},
+		{&Function{Name: "x", Body: []Op{IfNZ{Then: []Op{TailCall{Target: "y"}}}}}, false},
+		{&Function{Name: "x", Body: []Op{SetJmp{Buf: 0}}}, false},
+		{&Function{Name: "x", Body: []Op{Write{Byte: 'x'}, Exit{Code: 1}}}, true},
+	}
+	for i, c := range cases {
+		if c.f.IsLeaf() != c.leaf {
+			t.Errorf("case %d: IsLeaf = %v", i, c.f.IsLeaf())
+		}
+	}
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	g := BuildCallGraph(prog())
+	if !g.Calls("main", "a") || !g.Calls("main", "b") {
+		t.Error("main edges missing (including the loop body)")
+	}
+	if g.Calls("main", "leaf") {
+		t.Error("phantom edge main->leaf")
+	}
+	if got := g.Callees("b"); len(got) != 2 || got[0] != "a" || got[1] != "leaf" {
+		t.Errorf("Callees(b) = %v", got)
+	}
+	if got := g.Callers("b"); len(got) != 2 || got[0] != "a" || got[1] != "main" {
+		t.Errorf("Callers(b) = %v", got)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := BuildCallGraph(prog())
+	got := g.Reachable("a")
+	want := "a b leaf"
+	if strings.Join(got, " ") != want {
+		t.Errorf("Reachable(a) = %v", got)
+	}
+}
+
+func TestPathsExplodeWithCycles(t *testing.T) {
+	g := BuildCallGraph(prog())
+	// The a <-> b cycle makes the number of paths grow without bound
+	// in the depth budget (Section 6.2.1's combinatorial explosion),
+	// and the enumeration must respect its result limit.
+	shallow := g.Paths("main", "leaf", 6, 1000)
+	deep := g.Paths("main", "leaf", 20, 1000)
+	if len(deep) <= len(shallow) {
+		t.Errorf("cycle did not multiply paths: %d vs %d", len(deep), len(shallow))
+	}
+	capped := g.Paths("main", "leaf", 40, 7)
+	if len(capped) != 7 {
+		t.Errorf("limit not honoured: %d", len(capped))
+	}
+	for _, p := range deep {
+		if p[0] != "main" || p[len(p)-1] != "leaf" {
+			t.Errorf("malformed path %v", p)
+		}
+	}
+}
+
+func TestPathsDepthBound(t *testing.T) {
+	g := BuildCallGraph(prog())
+	paths := g.Paths("main", "leaf", 3, 1000)
+	for _, p := range paths {
+		if len(p) > 3 {
+			t.Errorf("path %v exceeds depth bound", p)
+		}
+	}
+}
+
+func TestFunctionLookup(t *testing.T) {
+	p := prog()
+	if p.Function("a") == nil || p.Function("ghost") != nil {
+		t.Error("Function lookup broken")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{
+		Compute{Units: 3}, StoreLocal{Slot: 1, Value: 9}, LoadLocal{Slot: 0},
+		Call{Target: "f"}, CallPtr{Target: "f"}, TailCall{Target: "f"},
+		Loop{Count: 2}, Write{Byte: 'x'}, SetJmp{Buf: 1}, LongJmp{Buf: 1, Value: 2},
+		IfNZ{}, Exit{Code: 3},
+	}
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Errorf("%T has empty String", op)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package irtext
+
+import (
+	"fmt"
+	"strings"
+
+	"pacstack/internal/ir"
+)
+
+// Format renders a program back into the surface syntax; Parse(Format(p))
+// reproduces p, which the round-trip tests rely on.
+func Format(p *ir.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "entry %s\n", p.Entry)
+	for _, f := range p.Functions {
+		b.WriteString("\n")
+		if f.Uninstrumented {
+			b.WriteString("uninstrumented ")
+		}
+		fmt.Fprintf(&b, "func %s", f.Name)
+		if f.Locals > 0 {
+			fmt.Fprintf(&b, " locals %d", f.Locals)
+		}
+		b.WriteString(" {\n")
+		formatOps(&b, f.Body, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func formatOps(b *strings.Builder, ops []ir.Op, depth int) {
+	indent := strings.Repeat("    ", depth)
+	for _, op := range ops {
+		switch o := op.(type) {
+		case ir.Compute:
+			fmt.Fprintf(b, "%scompute %d\n", indent, o.Units)
+		case ir.StoreLocal:
+			fmt.Fprintf(b, "%sstore %d, %d\n", indent, o.Slot, o.Value)
+		case ir.LoadLocal:
+			fmt.Fprintf(b, "%sload %d\n", indent, o.Slot)
+		case ir.Call:
+			fmt.Fprintf(b, "%scall %s\n", indent, o.Target)
+		case ir.CallPtr:
+			fmt.Fprintf(b, "%scallptr %s\n", indent, o.Target)
+		case ir.TailCall:
+			fmt.Fprintf(b, "%stailcall %s\n", indent, o.Target)
+		case ir.Write:
+			fmt.Fprintf(b, "%swrite %s\n", indent, formatChar(o.Byte))
+		case ir.SetJmp:
+			fmt.Fprintf(b, "%ssetjmp %d\n", indent, o.Buf)
+		case ir.LongJmp:
+			fmt.Fprintf(b, "%slongjmp %d, %d\n", indent, o.Buf, o.Value)
+		case ir.Exit:
+			fmt.Fprintf(b, "%sexit %d\n", indent, o.Code)
+		case ir.AssertLocal:
+			fmt.Fprintf(b, "%sassert %d, %d\n", indent, o.Slot, o.Value)
+		case ir.ValidateFrames:
+			fmt.Fprintf(b, "%svalidate %d\n", indent, o.Max)
+		case ir.Loop:
+			fmt.Fprintf(b, "%sloop %d {\n", indent, o.Count)
+			formatOps(b, o.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", indent)
+		case ir.IfNZ:
+			fmt.Fprintf(b, "%sifnz {\n", indent)
+			formatOps(b, o.Then, depth+1)
+			fmt.Fprintf(b, "%s}\n", indent)
+		default:
+			panic(fmt.Sprintf("irtext: no syntax for %T", op))
+		}
+	}
+}
+
+func formatChar(c byte) string {
+	switch c {
+	case '\n':
+		return `'\n'`
+	case '\t':
+		return `'\t'`
+	case '\'':
+		return `'\''`
+	case '\\':
+		return `'\\'`
+	}
+	if c >= 0x20 && c < 0x7F {
+		return fmt.Sprintf("'%c'", c)
+	}
+	return fmt.Sprintf("%d", c)
+}

@@ -1,0 +1,344 @@
+// Package irtext is the textual surface syntax for the internal/ir
+// programs — the "source language" of this reproduction's toolchain.
+// It lets test fixtures, examples and the pacstack-cc driver express
+// programs as files instead of Go struct literals:
+//
+//	# a comment
+//	entry main
+//
+//	func main locals 2 {
+//	    store 0, 7          # local[0] = 7
+//	    call work
+//	    loop 3 {
+//	        call work
+//	        write '.'
+//	    }
+//	    callptr helper
+//	    load 0
+//	    write '!'
+//	}
+//
+//	uninstrumented func vendor {
+//	    write 'v'
+//	    call helper
+//	}
+//
+//	func work locals 1 {
+//	    compute 10
+//	    tailcall helper
+//	}
+//
+//	func helper {
+//	    compute 3
+//	}
+//
+// Statements map one-to-one onto ir.Op: store/load/compute/call/
+// callptr/tailcall/loop/write/setjmp/longjmp/ifnz/exit/assert/
+// validate. Parse and Format round-trip.
+package irtext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pacstack/internal/ir"
+)
+
+// Parse builds a validated ir.Program from source text.
+func Parse(src string) (*ir.Program, error) {
+	p := &parser{lines: splitLines(src)}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error, for static fixtures.
+func MustParse(src string) *ir.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type line struct {
+	no   int
+	text string
+}
+
+func splitLines(src string) []line {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		text := raw
+		if j := strings.IndexByte(text, '#'); j >= 0 {
+			text = text[:j]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		out = append(out, line{no: i + 1, text: text})
+	}
+	return out
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.lines) }
+
+func (p *parser) peek() line { return p.lines[p.pos] }
+
+func (p *parser) next() line {
+	l := p.lines[p.pos]
+	p.pos++
+	return l
+}
+
+func (p *parser) errf(l line, format string, args ...any) error {
+	return fmt.Errorf("irtext: line %d: %s", l.no, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) program() (*ir.Program, error) {
+	prog := &ir.Program{Entry: "main"}
+	for !p.eof() {
+		l := p.next()
+		fields := strings.Fields(l.text)
+		switch fields[0] {
+		case "entry":
+			if len(fields) != 2 {
+				return nil, p.errf(l, "entry needs a function name")
+			}
+			prog.Entry = fields[1]
+		case "func", "uninstrumented":
+			fn, err := p.function(l)
+			if err != nil {
+				return nil, err
+			}
+			prog.Functions = append(prog.Functions, fn)
+		default:
+			return nil, p.errf(l, "expected 'func', 'uninstrumented func' or 'entry', got %q", fields[0])
+		}
+	}
+	return prog, nil
+}
+
+// function parses a header line (already consumed) plus the brace-
+// delimited body.
+func (p *parser) function(header line) (*ir.Function, error) {
+	fields := strings.Fields(strings.TrimSuffix(header.text, "{"))
+	fn := &ir.Function{}
+	i := 0
+	if fields[i] == "uninstrumented" {
+		fn.Uninstrumented = true
+		i++
+	}
+	if i >= len(fields) || fields[i] != "func" {
+		return nil, p.errf(header, "expected 'func'")
+	}
+	i++
+	if i >= len(fields) {
+		return nil, p.errf(header, "func needs a name")
+	}
+	fn.Name = fields[i]
+	i++
+	if i < len(fields) {
+		if fields[i] != "locals" || i+1 >= len(fields) {
+			return nil, p.errf(header, "expected 'locals N' after the function name")
+		}
+		n, err := strconv.Atoi(fields[i+1])
+		if err != nil || n < 0 {
+			return nil, p.errf(header, "bad locals count %q", fields[i+1])
+		}
+		fn.Locals = n
+		i += 2
+	}
+	if i != len(fields) {
+		return nil, p.errf(header, "unexpected tokens after the function header")
+	}
+	if !strings.HasSuffix(header.text, "{") {
+		return nil, p.errf(header, "function header must end with '{'")
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// block parses statements until the closing brace.
+func (p *parser) block() ([]ir.Op, error) {
+	var ops []ir.Op
+	for {
+		if p.eof() {
+			return nil, fmt.Errorf("irtext: unexpected end of input inside a block")
+		}
+		l := p.next()
+		if l.text == "}" {
+			return ops, nil
+		}
+		op, err := p.statement(l)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+}
+
+func (p *parser) statement(l line) (ir.Op, error) {
+	fields := strings.Fields(l.text)
+	args := strings.TrimSpace(strings.TrimPrefix(l.text, fields[0]))
+	switch fields[0] {
+	case "compute":
+		n, err := p.intArg(l, args)
+		if err != nil {
+			return nil, err
+		}
+		return ir.Compute{Units: n}, nil
+	case "store":
+		a, b, err := p.twoIntArgs(l, args)
+		if err != nil {
+			return nil, err
+		}
+		return ir.StoreLocal{Slot: a, Value: int64(b)}, nil
+	case "load":
+		n, err := p.intArg(l, args)
+		if err != nil {
+			return nil, err
+		}
+		return ir.LoadLocal{Slot: n}, nil
+	case "call":
+		return ir.Call{Target: args}, p.nameArg(l, args)
+	case "callptr":
+		return ir.CallPtr{Target: args}, p.nameArg(l, args)
+	case "tailcall":
+		return ir.TailCall{Target: args}, p.nameArg(l, args)
+	case "write":
+		b, err := p.charArg(l, args)
+		if err != nil {
+			return nil, err
+		}
+		return ir.Write{Byte: b}, nil
+	case "setjmp":
+		n, err := p.intArg(l, args)
+		if err != nil {
+			return nil, err
+		}
+		return ir.SetJmp{Buf: n}, nil
+	case "longjmp":
+		a, b, err := p.twoIntArgs(l, args)
+		if err != nil {
+			return nil, err
+		}
+		return ir.LongJmp{Buf: a, Value: int64(b)}, nil
+	case "exit":
+		n, err := p.intArg(l, args)
+		if err != nil {
+			return nil, err
+		}
+		return ir.Exit{Code: int64(n)}, nil
+	case "assert":
+		a, b, err := p.twoIntArgs(l, args)
+		if err != nil {
+			return nil, err
+		}
+		return ir.AssertLocal{Slot: a, Value: int64(b)}, nil
+	case "validate":
+		n, err := p.intArg(l, args)
+		if err != nil {
+			return nil, err
+		}
+		return ir.ValidateFrames{Max: n}, nil
+	case "loop":
+		count, err := p.intArg(l, strings.TrimSuffix(args, "{"))
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasSuffix(l.text, "{") {
+			return nil, p.errf(l, "loop header must end with '{'")
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return ir.Loop{Count: count, Body: body}, nil
+	case "ifnz":
+		if l.text != "ifnz {" {
+			return nil, p.errf(l, "expected 'ifnz {'")
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return ir.IfNZ{Then: body}, nil
+	}
+	return nil, p.errf(l, "unknown statement %q", fields[0])
+}
+
+func (p *parser) intArg(l line, s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, p.errf(l, "expected an integer, got %q", s)
+	}
+	return n, nil
+}
+
+func (p *parser) twoIntArgs(l line, s string) (int, int, error) {
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 {
+		return 0, 0, p.errf(l, "expected two comma-separated integers, got %q", s)
+	}
+	a, err := p.intArg(l, parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := p.intArg(l, parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+func (p *parser) nameArg(l line, s string) error {
+	if s == "" || len(strings.Fields(s)) != 1 {
+		return p.errf(l, "expected a function name, got %q", s)
+	}
+	return nil
+}
+
+// charArg accepts 'x' (quoted byte), an escape like '\n', or a
+// decimal byte value.
+func (p *parser) charArg(l line, s string) (byte, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		inner := s[1 : len(s)-1]
+		switch inner {
+		case "\\n":
+			return '\n', nil
+		case "\\t":
+			return '\t', nil
+		case "\\'":
+			return '\'', nil
+		case "\\\\":
+			return '\\', nil
+		}
+		if len(inner) == 1 {
+			return inner[0], nil
+		}
+		return 0, p.errf(l, "bad character literal %q", s)
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > 255 {
+		return 0, p.errf(l, "expected a character literal or byte value, got %q", s)
+	}
+	return byte(n), nil
+}

@@ -1,0 +1,224 @@
+package irtext
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/ir"
+	"pacstack/internal/kernel"
+	"pacstack/internal/pa"
+)
+
+const demoSrc = `
+# demo program
+entry main
+
+func main locals 2 {
+    store 0, 7
+    call work
+    loop 3 {
+        call work
+        write '.'
+    }
+    callptr helper
+    load 0
+    write '!'
+}
+
+uninstrumented func vendor {
+    write 'v'
+    call helper
+}
+
+func work locals 1 {
+    store 0, 1
+    compute 10
+    call helper
+    write 'w'
+}
+
+func helper {
+    compute 3
+}
+`
+
+func TestParseDemo(t *testing.T) {
+	p, err := Parse(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != "main" || len(p.Functions) != 4 {
+		t.Fatalf("entry %q, %d functions", p.Entry, len(p.Functions))
+	}
+	if !p.Function("vendor").Uninstrumented {
+		t.Error("uninstrumented attribute lost")
+	}
+	if p.Function("main").Locals != 2 {
+		t.Error("locals lost")
+	}
+	if len(p.Function("main").Body) != 6 {
+		t.Errorf("main has %d ops", len(p.Function("main").Body))
+	}
+}
+
+func TestParsedProgramRuns(t *testing.T) {
+	p := MustParse(demoSrc)
+	img, err := compile.Compile(p, compile.SchemePACStack, compile.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(proc.Output); got != "ww.w.w.!" {
+		t.Errorf("output %q", got)
+	}
+}
+
+func TestFormatParseRoundTripDemo(t *testing.T) {
+	p1 := MustParse(demoSrc)
+	text := Format(p1)
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("round trip changed the program:\n%s", text)
+	}
+}
+
+func TestFormatParseRoundTripGenerated(t *testing.T) {
+	// Round-trip every construct via the random program generator.
+	for seed := int64(0); seed < 40; seed++ {
+		p1 := ir.Generate(ir.DefaultGenConfig(), seed)
+		text := Format(p1)
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, text)
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("seed %d: round trip changed the program", seed)
+		}
+	}
+}
+
+func TestAllStatementsParse(t *testing.T) {
+	src := `
+entry top
+func top locals 3 {
+    compute 5
+    store 1, -9
+    load 2
+    call bottom
+    write 65
+    write '\n'
+    write '\t'
+    write '\''
+    write '\\'
+    setjmp 1
+    ifnz {
+        exit 3
+    }
+    longjmp 1, 2
+    assert 0, 0
+    validate 4
+    loop 0 {
+        compute 1
+    }
+    tailcall bottom
+}
+func bottom {
+    compute 1
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The formatter must render every construct back.
+	text := Format(p)
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad top-level":     "banana main",
+		"missing brace":     "func f\ncompute 1\n}",
+		"unterminated":      "func f {\ncompute 1",
+		"bad statement":     "func f {\nfrobnicate 3\n}",
+		"bad int":           "func f {\ncompute x\n}",
+		"bad pair":          "func f {\nstore 1\n}",
+		"bad char":          "func f {\nwrite 'xy'\n}",
+		"bad byte":          "func f {\nwrite 999\n}",
+		"bad locals":        "func f locals q {\n}",
+		"bad header suffix": "func f locals 1 extra {\n}",
+		"entry arity":       "entry",
+		"undefined call":    "func main {\ncall ghost\n}",
+		"bad loop header":   "func main {\nloop 3\ncompute 1\n}\n}",
+		"bad ifnz":          "func main {\nifnz 3 {\n}\n}",
+		"call arity":        "func main {\ncall a b\n}",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+# leading comment
+
+entry main
+func main {     # trailing comment on header
+    compute 1   # trailing comment
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Function("main").Body) != 1 {
+		t.Error("comment handling broke the body")
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add(demoSrc)
+	f.Add("func main {\n}")
+	f.Add("entry x\nfunc x {\nloop 2 {\nifnz {\nwrite 'a'\n}\n}\n}")
+	f.Add("uninstrumented func main locals 9 {\nvalidate 9\n}")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Anything accepted must format and reparse identically.
+		text := Format(p)
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\n%s", err, text)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip changed program:\n%s", text)
+		}
+	})
+}
+
+func TestFormatStable(t *testing.T) {
+	p := MustParse(demoSrc)
+	if Format(p) != Format(p) {
+		t.Error("Format is not deterministic")
+	}
+	if !strings.Contains(Format(p), "uninstrumented func vendor") {
+		t.Error("attribute not rendered")
+	}
+}

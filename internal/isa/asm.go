@@ -1,0 +1,479 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembler text into a linked Program based at base.
+//
+// The accepted syntax is the one produced by Program.Disassemble plus
+// the usual conveniences: `;` and `//` comments, blank lines, labels
+// on their own line or preceding an instruction, decimal or 0x
+// immediates, and `MOVZ Xd, =label` for taking a code address.
+func Assemble(base uint64, src string) (*Program, error) {
+	b := NewBuilder(base)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if label == "" || strings.ContainsAny(label, " \t,[]#") {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := b.labels[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNo+1, label)
+			}
+			b.Label(label)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		ins, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %v", lineNo+1, err)
+		}
+		b.Emit(ins)
+	}
+	return b.Link()
+}
+
+// MustAssemble is Assemble that panics on error, for static test
+// fixtures.
+func MustAssemble(base uint64, src string) *Program {
+	p, err := Assemble(base, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseInstr(line string) (Instr, error) {
+	mn := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mn, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mn = strings.ToUpper(mn)
+
+	// B.cond
+	if strings.HasPrefix(mn, "B.") {
+		cond, err := parseCond(mn[2:])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: BCND, Cond: cond, Label: rest}, nil
+	}
+
+	ops := splitOperands(rest)
+	switch mn {
+	case "NOP":
+		return Instr{Op: NOP}, nil
+	case "HLT":
+		return Instr{Op: HLT}, nil
+	case "PACIASP":
+		return Instr{Op: PACIASP}, nil
+	case "AUTIASP":
+		return Instr{Op: AUTIASP}, nil
+	case "RETAA":
+		return Instr{Op: RETAA}, nil
+	case "RET":
+		if len(ops) == 1 {
+			r, err := parseReg(ops[0])
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: RET, Rn: r}, nil
+		}
+		return Instr{Op: RET, Rn: LR}, nil
+	case "SVC":
+		imm, err := parseImm(ops, 0)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: SVC, Imm: imm}, nil
+	case "MOVZ", "MOV":
+		if len(ops) != 2 {
+			return Instr{}, fmt.Errorf("%s needs 2 operands", mn)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		if strings.HasPrefix(ops[1], "#") {
+			imm, err := parseImm(ops, 1)
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: MOVZ, Rd: rd, Imm: imm}, nil
+		}
+		if strings.HasPrefix(ops[1], "=") {
+			return Instr{Op: MOVZ, Rd: rd, Label: ops[1][1:]}, nil
+		}
+		rn, err := parseReg(ops[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: MOV, Rd: rd, Rn: rn}, nil
+	case "ADD", "SUB":
+		return parseArith3(mn, ops)
+	case "EOR", "AND", "ORR", "MUL":
+		if len(ops) != 3 {
+			return Instr{}, fmt.Errorf("%s needs 3 operands", mn)
+		}
+		rd, e1 := parseReg(ops[0])
+		rn, e2 := parseReg(ops[1])
+		rm, e3 := parseReg(ops[2])
+		if err := firstErr(e1, e2, e3); err != nil {
+			return Instr{}, err
+		}
+		op := map[string]Op{"EOR": EOR, "AND": AND, "ORR": ORR, "MUL": MUL}[mn]
+		return Instr{Op: op, Rd: rd, Rn: rn, Rm: rm}, nil
+	case "LSL", "LSR":
+		if len(ops) != 3 {
+			return Instr{}, fmt.Errorf("%s needs 3 operands", mn)
+		}
+		rd, e1 := parseReg(ops[0])
+		rn, e2 := parseReg(ops[1])
+		imm, e3 := parseImm(ops, 2)
+		if err := firstErr(e1, e2, e3); err != nil {
+			return Instr{}, err
+		}
+		op := LSLI
+		if mn == "LSR" {
+			op = LSRI
+		}
+		return Instr{Op: op, Rd: rd, Rn: rn, Imm: imm}, nil
+	case "LDR", "STR":
+		return parseLoadStore(mn, rest)
+	case "LDP", "STP":
+		return parseLoadStorePair(mn, rest)
+	case "B":
+		return Instr{Op: B, Label: rest}, nil
+	case "BL":
+		return Instr{Op: BL, Label: rest}, nil
+	case "BR", "BLR":
+		r, err := parseReg(rest)
+		if err != nil {
+			return Instr{}, err
+		}
+		op := BR
+		if mn == "BLR" {
+			op = BLR
+		}
+		return Instr{Op: op, Rn: r}, nil
+	case "CBZ", "CBNZ":
+		if len(ops) != 2 {
+			return Instr{}, fmt.Errorf("%s needs 2 operands", mn)
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		op := CBZ
+		if mn == "CBNZ" {
+			op = CBNZ
+		}
+		return Instr{Op: op, Rn: r, Label: ops[1]}, nil
+	case "CMP":
+		if len(ops) != 2 {
+			return Instr{}, fmt.Errorf("CMP needs 2 operands")
+		}
+		rn, err := parseReg(ops[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		if strings.HasPrefix(ops[1], "#") {
+			imm, err := parseImm(ops, 1)
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: CMPI, Rn: rn, Imm: imm}, nil
+		}
+		rm, err := parseReg(ops[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: CMP, Rn: rn, Rm: rm}, nil
+	case "PACIA", "PACIB", "AUTIA", "AUTIB":
+		if len(ops) != 2 {
+			return Instr{}, fmt.Errorf("%s needs 2 operands", mn)
+		}
+		rd, e1 := parseReg(ops[0])
+		rn, e2 := parseReg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return Instr{}, err
+		}
+		op := map[string]Op{"PACIA": PACIA, "PACIB": PACIB, "AUTIA": AUTIA, "AUTIB": AUTIB}[mn]
+		return Instr{Op: op, Rd: rd, Rn: rn}, nil
+	case "PACGA":
+		if len(ops) != 3 {
+			return Instr{}, fmt.Errorf("PACGA needs 3 operands")
+		}
+		rd, e1 := parseReg(ops[0])
+		rn, e2 := parseReg(ops[1])
+		rm, e3 := parseReg(ops[2])
+		if err := firstErr(e1, e2, e3); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: PACGA, Rd: rd, Rn: rn, Rm: rm}, nil
+	case "XPACI":
+		r, err := parseReg(rest)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: XPACI, Rd: r}, nil
+	}
+	return Instr{}, fmt.Errorf("unknown mnemonic %q", mn)
+}
+
+func parseArith3(mn string, ops []string) (Instr, error) {
+	if len(ops) != 3 {
+		return Instr{}, fmt.Errorf("%s needs 3 operands", mn)
+	}
+	rd, e1 := parseReg(ops[0])
+	rn, e2 := parseReg(ops[1])
+	if err := firstErr(e1, e2); err != nil {
+		return Instr{}, err
+	}
+	if strings.HasPrefix(ops[2], "#") {
+		imm, err := parseImm(ops, 2)
+		if err != nil {
+			return Instr{}, err
+		}
+		op := ADDI
+		if mn == "SUB" {
+			op = SUBI
+		}
+		return Instr{Op: op, Rd: rd, Rn: rn, Imm: imm}, nil
+	}
+	rm, err := parseReg(ops[2])
+	if err != nil {
+		return Instr{}, err
+	}
+	op := ADD
+	if mn == "SUB" {
+		op = SUB
+	}
+	return Instr{Op: op, Rd: rd, Rn: rn, Rm: rm}, nil
+}
+
+// parseLoadStore handles LDR/STR with [Xn, #imm], [Xn], #imm (post)
+// and [Xn, #imm]! (pre) addressing.
+func parseLoadStore(mn, rest string) (Instr, error) {
+	rt, addr, err := splitTransfer(rest)
+	if err != nil {
+		return Instr{}, err
+	}
+	rd, err := parseReg(rt)
+	if err != nil {
+		return Instr{}, err
+	}
+	base, imm, mode, err := parseAddr(addr)
+	if err != nil {
+		return Instr{}, err
+	}
+	var op Op
+	switch {
+	case mn == "LDR" && mode == addrPost:
+		op = LDRPOST
+	case mn == "LDR":
+		if mode == addrPre {
+			return Instr{}, fmt.Errorf("LDR pre-index not supported")
+		}
+		op = LDR
+	case mn == "STR" && mode == addrPre:
+		op = STRPRE
+	case mn == "STR":
+		if mode == addrPost {
+			return Instr{}, fmt.Errorf("STR post-index not supported")
+		}
+		op = STR
+	}
+	return Instr{Op: op, Rd: rd, Rn: base, Imm: imm}, nil
+}
+
+func parseLoadStorePair(mn, rest string) (Instr, error) {
+	comma := strings.Index(rest, ",")
+	if comma < 0 {
+		return Instr{}, fmt.Errorf("%s needs a register pair", mn)
+	}
+	r1s := strings.TrimSpace(rest[:comma])
+	rt, addr, err := splitTransfer(strings.TrimSpace(rest[comma+1:]))
+	if err != nil {
+		return Instr{}, err
+	}
+	r1, e1 := parseReg(r1s)
+	r2, e2 := parseReg(rt)
+	if err := firstErr(e1, e2); err != nil {
+		return Instr{}, err
+	}
+	base, imm, mode, err := parseAddr(addr)
+	if err != nil {
+		return Instr{}, err
+	}
+	var op Op
+	switch {
+	case mn == "LDP" && mode == addrPost:
+		op = LDPPOST
+	case mn == "LDP" && mode == addrOffset:
+		op = LDP
+	case mn == "STP" && mode == addrPre:
+		op = STPPRE
+	case mn == "STP" && mode == addrOffset:
+		op = STP
+	default:
+		return Instr{}, fmt.Errorf("%s addressing mode not supported", mn)
+	}
+	return Instr{Op: op, Rd: r1, Rm: r2, Rn: base, Imm: imm}, nil
+}
+
+// splitTransfer splits "Xd, [ ... ]" into the register and address
+// parts.
+func splitTransfer(rest string) (reg, addr string, err error) {
+	i := strings.Index(rest, ",")
+	if i < 0 {
+		return "", "", fmt.Errorf("missing address operand in %q", rest)
+	}
+	return strings.TrimSpace(rest[:i]), strings.TrimSpace(rest[i+1:]), nil
+}
+
+type addrMode int
+
+const (
+	addrOffset addrMode = iota
+	addrPre
+	addrPost
+)
+
+func parseAddr(s string) (base Reg, imm int64, mode addrMode, err error) {
+	if !strings.HasPrefix(s, "[") {
+		return 0, 0, 0, fmt.Errorf("bad address %q", s)
+	}
+	close := strings.Index(s, "]")
+	if close < 0 {
+		return 0, 0, 0, fmt.Errorf("unterminated address %q", s)
+	}
+	inner := s[1:close]
+	tail := strings.TrimSpace(s[close+1:])
+	parts := splitOperands(inner)
+	if len(parts) == 0 {
+		return 0, 0, 0, fmt.Errorf("empty address %q", s)
+	}
+	base, err = parseReg(parts[0])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(parts) == 2 {
+		imm, err = parseImm(parts, 1)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+	} else if len(parts) > 2 {
+		return 0, 0, 0, fmt.Errorf("bad address %q", s)
+	}
+	switch {
+	case tail == "!":
+		return base, imm, addrPre, nil
+	case strings.HasPrefix(tail, ","):
+		if len(parts) != 1 {
+			return 0, 0, 0, fmt.Errorf("bad post-index address %q", s)
+		}
+		imm, err = parseImm([]string{strings.TrimSpace(tail[1:])}, 0)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return base, imm, addrPost, nil
+	case tail == "":
+		return base, imm, addrOffset, nil
+	}
+	return 0, 0, 0, fmt.Errorf("bad address suffix %q", tail)
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (Reg, error) {
+	switch strings.ToUpper(s) {
+	case "SP":
+		return SP, nil
+	case "XZR":
+		return XZR, nil
+	case "FP":
+		return FP, nil
+	case "LR":
+		return LR, nil
+	}
+	u := strings.ToUpper(s)
+	if strings.HasPrefix(u, "X") {
+		n, err := strconv.Atoi(u[1:])
+		if err == nil && n >= 0 && n <= 30 {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(ops []string, i int) (int64, error) {
+	if i >= len(ops) {
+		return 0, fmt.Errorf("missing immediate")
+	}
+	s := strings.TrimPrefix(ops[i], "#")
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex immediates.
+		u, uerr := strconv.ParseUint(s, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad immediate %q", ops[i])
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}
+
+func parseCond(s string) (Cond, error) {
+	switch strings.ToUpper(s) {
+	case "EQ":
+		return EQ, nil
+	case "NE":
+		return NE, nil
+	case "LT":
+		return LT, nil
+	case "LE":
+		return LE, nil
+	case "GT":
+		return GT, nil
+	case "GE":
+		return GE, nil
+	}
+	return 0, fmt.Errorf("bad condition %q", s)
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

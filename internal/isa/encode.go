@@ -1,0 +1,150 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary encoding: each instruction packs into InstrSize (8) bytes,
+// little-endian —
+//
+//	byte 0      opcode
+//	byte 1      Rd (or the condition for BCND, whose Rd is unused)
+//	byte 2      Rn
+//	byte 3      Rm
+//	bytes 4..7  immediate (int32) or branch target (uint32)
+//
+// Labels are link-time artifacts and are not part of the encoding; a
+// decoded program therefore carries resolved targets only, like a
+// stripped binary.
+
+// ErrImmRange reports an immediate that does not fit the 32-bit
+// encoding field.
+var ErrImmRange = fmt.Errorf("isa: immediate out of the 32-bit encoding range")
+
+// usesTarget reports whether the op's immediate field carries a
+// resolved branch target rather than a data immediate.
+func usesTarget(op Op) bool {
+	switch op {
+	case B, BL, BCND, CBZ, CBNZ:
+		return true
+	}
+	return false
+}
+
+// Encode packs one instruction.
+func Encode(ins Instr) ([InstrSize]byte, error) {
+	var out [InstrSize]byte
+	if ins.Op < 0 || ins.Op >= numOps {
+		return out, fmt.Errorf("isa: cannot encode unknown op %d", int(ins.Op))
+	}
+	if ins.Rd >= NumRegs || ins.Rn >= NumRegs || ins.Rm >= NumRegs {
+		return out, fmt.Errorf("isa: cannot encode register out of range in %s", ins)
+	}
+	out[0] = byte(ins.Op)
+	if ins.Op == BCND {
+		out[1] = byte(ins.Cond)
+	} else {
+		out[1] = byte(ins.Rd)
+	}
+	out[2] = byte(ins.Rn)
+	out[3] = byte(ins.Rm)
+
+	if usesTarget(ins.Op) {
+		if ins.Target > math.MaxUint32 {
+			return out, fmt.Errorf("isa: branch target %#x exceeds the encoding: %w", ins.Target, ErrImmRange)
+		}
+		binary.LittleEndian.PutUint32(out[4:], uint32(ins.Target))
+	} else {
+		if ins.Imm < math.MinInt32 || ins.Imm > math.MaxInt32 {
+			return out, fmt.Errorf("isa: immediate %d in %s: %w", ins.Imm, ins, ErrImmRange)
+		}
+		binary.LittleEndian.PutUint32(out[4:], uint32(int32(ins.Imm)))
+	}
+	return out, nil
+}
+
+// Decode unpacks one instruction. Labels are not recovered.
+func Decode(b [InstrSize]byte) (Instr, error) {
+	op := Op(b[0])
+	if op < 0 || op >= numOps {
+		return Instr{}, fmt.Errorf("isa: undefined opcode byte %#x", b[0])
+	}
+	ins := Instr{Op: op, Rn: Reg(b[2]), Rm: Reg(b[3])}
+	if op == BCND {
+		ins.Cond = Cond(b[1])
+		if ins.Cond < EQ || ins.Cond > GE {
+			return Instr{}, fmt.Errorf("isa: undefined condition byte %#x", b[1])
+		}
+	} else {
+		ins.Rd = Reg(b[1])
+	}
+	if ins.Rd >= NumRegs || ins.Rn >= NumRegs || ins.Rm >= NumRegs {
+		return Instr{}, fmt.Errorf("isa: register byte out of range in encoded %v", b)
+	}
+	raw := binary.LittleEndian.Uint32(b[4:])
+	if usesTarget(op) {
+		ins.Target = uint64(raw)
+	} else {
+		ins.Imm = int64(int32(raw))
+	}
+	return ins, nil
+}
+
+// EncodeProgram serializes the whole instruction image (symbols are
+// not part of it).
+func EncodeProgram(p *Program) ([]byte, error) {
+	out := make([]byte, 0, len(p.Instrs)*InstrSize)
+	for i, ins := range p.Instrs {
+		w, err := Encode(ins)
+		if err != nil {
+			return nil, fmt.Errorf("isa: at %#x: %w", p.Base+uint64(i)*InstrSize, err)
+		}
+		out = append(out, w[:]...)
+	}
+	return out, nil
+}
+
+// DecodeProgram rebuilds a Program (without symbols) from an encoded
+// image based at base.
+func DecodeProgram(base uint64, image []byte) (*Program, error) {
+	if len(image)%InstrSize != 0 {
+		return nil, fmt.Errorf("isa: image length %d is not a multiple of %d", len(image), InstrSize)
+	}
+	p := &Program{Base: base, Symbols: map[string]uint64{}}
+	for off := 0; off < len(image); off += InstrSize {
+		var w [InstrSize]byte
+		copy(w[:], image[off:])
+		ins, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("isa: at %#x: %w", base+uint64(off), err)
+		}
+		p.Instrs = append(p.Instrs, ins)
+	}
+	return p, nil
+}
+
+// stripped returns ins without link-time-only fields, for comparing a
+// linked program against its decoded image.
+func stripped(ins Instr) Instr {
+	ins.Label = ""
+	if ins.Op == BCND {
+		ins.Rd = 0
+	}
+	return ins
+}
+
+// SameCode reports whether two programs encode identical instruction
+// streams (ignoring labels and symbols).
+func SameCode(a, b *Program) bool {
+	if a.Base != b.Base || len(a.Instrs) != len(b.Instrs) {
+		return false
+	}
+	for i := range a.Instrs {
+		if stripped(a.Instrs[i]) != stripped(b.Instrs[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package isa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randInstr draws a random valid instruction for roundtrip testing.
+func randInstr(rng *rand.Rand) Instr {
+	ins := Instr{
+		Op: Op(rng.Intn(int(numOps))),
+		Rd: Reg(rng.Intn(int(NumRegs))),
+		Rn: Reg(rng.Intn(int(NumRegs))),
+		Rm: Reg(rng.Intn(int(NumRegs))),
+	}
+	if usesTarget(ins.Op) {
+		ins.Target = uint64(rng.Uint32())
+	} else {
+		ins.Imm = int64(int32(rng.Uint32()))
+	}
+	if ins.Op == BCND {
+		ins.Cond = Cond(rng.Intn(6))
+		ins.Rd = 0
+	}
+	return ins
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		ins := randInstr(rng)
+		w, err := Encode(ins)
+		if err != nil {
+			t.Fatalf("encode %v: %v", ins, err)
+		}
+		back, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %v: %v", ins, err)
+		}
+		if stripped(back) != stripped(ins) {
+			t.Fatalf("roundtrip changed %+v -> %+v", ins, back)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	cases := []Instr{
+		{Op: numOps},
+		{Op: MOVZ, Rd: NumRegs},
+		{Op: MOVZ, Rd: X0, Imm: math.MaxInt32 + 1},
+		{Op: MOVZ, Rd: X0, Imm: math.MinInt32 - 1},
+		{Op: B, Target: math.MaxUint32 + 1},
+	}
+	for _, ins := range cases {
+		if _, err := Encode(ins); err == nil {
+			t.Errorf("encoded invalid %+v", ins)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := [][InstrSize]byte{
+		{0xFF, 0, 0, 0, 0, 0, 0, 0},                // undefined opcode
+		{byte(MOVZ), 0xEE, 0, 0, 0, 0, 0, 0},       // register out of range
+		{byte(BCND), 0x77, 0, 0, 0, 0, 0, 0},       // undefined condition
+		{byte(MOVZ), 0, byte(NumRegs), 0, 0, 0, 0}, // Rn out of range
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("decoded garbage %v", w)
+		}
+	}
+}
+
+func TestProgramImageRoundTrip(t *testing.T) {
+	src := `
+main:
+    movz X0, #5
+    movz X9, =helper
+    blr X9
+loop:
+    sub X0, X0, #1
+    cmp X0, #0
+    b.ne loop
+    cbz X0, out
+out:
+    svc #0
+helper:
+    pacia X1, X28
+    autia X1, X28
+    retaa
+`
+	p := MustAssemble(0x40000, src)
+	img, err := EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != len(p.Instrs)*InstrSize {
+		t.Fatalf("image size %d", len(img))
+	}
+	back, err := DecodeProgram(0x40000, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameCode(p, back) {
+		t.Fatalf("decoded image differs:\n%s\nvs\n%s", p.Disassemble(), back.Disassemble())
+	}
+	// Branch targets survive as absolute addresses.
+	for i, ins := range back.Instrs {
+		if usesTarget(ins.Op) && ins.Target != p.Instrs[i].Target {
+			t.Errorf("instr %d target %#x != %#x", i, ins.Target, p.Instrs[i].Target)
+		}
+	}
+}
+
+func TestDecodeProgramRejectsBadLength(t *testing.T) {
+	if _, err := DecodeProgram(0, make([]byte, InstrSize+1)); err == nil {
+		t.Error("odd-length image decoded")
+	}
+}
+
+func TestSameCodeDetectsDifferences(t *testing.T) {
+	a := MustAssemble(0, "movz X0, #1\nret")
+	b := MustAssemble(0, "movz X0, #2\nret")
+	c := MustAssemble(8, "movz X0, #1\nret")
+	if SameCode(a, b) {
+		t.Error("different immediates compared equal")
+	}
+	if SameCode(a, c) {
+		t.Error("different bases compared equal")
+	}
+	if !SameCode(a, MustAssemble(0, "movz X0, #1\nret")) {
+		t.Error("identical programs compared unequal")
+	}
+}

@@ -1,0 +1,89 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the assembler and decoder sit on untrusted input
+// boundaries (user .s files, code bytes from memory) and must reject
+// garbage with errors, never panic. `go test` runs the seed corpus;
+// `go test -fuzz=FuzzAssemble ./internal/isa` explores further.
+
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"nop",
+		"main:\n  movz X0, #42\n  ret",
+		"paciasp\nstr LR, [SP, #-16]!\nldr LR, [SP], #16\nretaa",
+		"b.ne loop\nloop: nop",
+		"ldp FP, LR, [SP], #16",
+		"stp X19, X20, [SP, #-32]!",
+		"movz X1, =label\nlabel: svc #93",
+		"x: b x",
+		"cmp X0, #-1",
+		"ldr X0, [X1, #0x7fffffff]",
+		"add X0, X1, X2 ; trailing comment",
+		"label-with-dash: nop",
+		"ret X17",
+		"b.zz nowhere",
+		"pacga X0, X1, X2",
+		":",
+		"a: a: nop",
+		"ldr X0, [SP], #8!",
+		"svc",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(0x1000, src)
+		if err != nil {
+			return
+		}
+		// Accepted programs must disassemble and re-encode cleanly
+		// (modulo immediates outside the 32-bit encoding, which
+		// EncodeProgram rejects with an error, not a panic).
+		_ = p.Disassemble()
+		if img, err := EncodeProgram(p); err == nil {
+			back, err := DecodeProgram(p.Base, img)
+			if err != nil {
+				t.Fatalf("encoded program failed to decode: %v", err)
+			}
+			if !SameCode(p, back) {
+				t.Fatalf("image roundtrip changed the program:\n%s", p.Disassemble())
+			}
+		} else if !strings.Contains(err.Error(), "encoding") && !strings.Contains(err.Error(), "range") {
+			t.Fatalf("unexpected encode error class: %v", err)
+		}
+	})
+}
+
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{byte(MOVZ), 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{byte(RETAA), 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < InstrSize {
+			return
+		}
+		var w [InstrSize]byte
+		copy(w[:], raw)
+		ins, err := Decode(w)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode to the same bytes' semantic
+		// content.
+		w2, err := Encode(ins)
+		if err != nil {
+			t.Fatalf("decoded instruction %v failed to re-encode: %v", ins, err)
+		}
+		back, err := Decode(w2)
+		if err != nil || stripped(back) != stripped(ins) {
+			t.Fatalf("re-encode changed %v -> %v (%v)", ins, back, err)
+		}
+		_ = ins.String()
+	})
+}

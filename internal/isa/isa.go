@@ -1,0 +1,301 @@
+// Package isa defines the instruction set of the simulated AArch64-
+// flavoured machine used throughout this reproduction: the registers,
+// opcodes and instruction representation, a program builder with label
+// resolution, a text assembler, and a disassembler.
+//
+// The subset covers everything the PACStack instrumentation sequences
+// (paper Listings 1–8) and the synthetic workloads need: data
+// processing, loads/stores with pre/post indexing and pairs, direct
+// and indirect branches, conditional branches, the ARMv8.3-A pointer
+// authentication instructions, and supervisor calls.
+//
+// Instructions occupy eight address units and have a binary encoding
+// (encode.go): the loader writes the encoded image into execute-only
+// pages, so code bytes are real data in simulated memory, while the
+// CPU executes from the symbolic Program image for speed. Both views
+// are kept consistent (see the encoding tests).
+package isa
+
+import "fmt"
+
+// Reg names a general purpose register, SP or XZR.
+type Reg uint8
+
+// General purpose registers. X29 is the frame pointer, X30 the link
+// register. PACStack reserves X28 as the chain register (CR) and
+// ShadowCallStack reserves X18, mirroring the AArch64 conventions.
+const (
+	X0 Reg = iota
+	X1
+	X2
+	X3
+	X4
+	X5
+	X6
+	X7
+	X8
+	X9
+	X10
+	X11
+	X12
+	X13
+	X14
+	X15
+	X16
+	X17
+	X18
+	X19
+	X20
+	X21
+	X22
+	X23
+	X24
+	X25
+	X26
+	X27
+	X28
+	X29
+	X30
+	SP
+	XZR
+	NumRegs = XZR + 1
+)
+
+// Register aliases used by the ABI and the protection schemes.
+const (
+	FP  = X29 // frame pointer
+	LR  = X30 // link register
+	CR  = X28 // PACStack chain register
+	SCS = X18 // ShadowCallStack base register
+)
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "SP"
+	case XZR:
+		return "XZR"
+	case FP:
+		return "FP"
+	case LR:
+		return "LR"
+	}
+	return fmt.Sprintf("X%d", int(r))
+}
+
+// Op is an opcode.
+type Op int
+
+// The instruction set.
+const (
+	NOP Op = iota
+
+	// Data processing.
+	MOVZ // MOVZ Xd, #imm          Rd = Imm (full 64-bit immediate in this model)
+	MOV  // MOV Xd, Xn             Rd = Rn (also to/from SP)
+	ADD  // ADD Xd, Xn, Xm
+	ADDI // ADD Xd, Xn, #imm
+	SUB  // SUB Xd, Xn, Xm
+	SUBI // SUB Xd, Xn, #imm
+	EOR  // EOR Xd, Xn, Xm
+	AND  // AND Xd, Xn, Xm
+	ORR  // ORR Xd, Xn, Xm
+	LSLI // LSL Xd, Xn, #imm
+	LSRI // LSR Xd, Xn, #imm
+	MUL  // MUL Xd, Xn, Xm
+
+	// Loads and stores (64-bit).
+	LDR     // LDR Xd, [Xn, #imm]
+	STR     // STR Xd, [Xn, #imm]
+	LDRPOST // LDR Xd, [Xn], #imm          post-indexed
+	STRPRE  // STR Xd, [Xn, #imm]!         pre-indexed
+	LDP     // LDP Xd, Xe, [Xn, #imm]
+	STP     // STP Xd, Xe, [Xn, #imm]
+	LDPPOST // LDP Xd, Xe, [Xn], #imm
+	STPPRE  // STP Xd, Xe, [Xn, #imm]!
+
+	// Branches.
+	B    // B label
+	BL   // BL label                Rd(LR) = return address
+	BR   // BR Xn
+	BLR  // BLR Xn
+	RET  // RET / RET Xn            branch to Rn (default LR)
+	BCND // B.cond label
+	CBZ  // CBZ Xn, label
+	CBNZ // CBNZ Xn, label
+
+	// Comparison.
+	CMP  // CMP Xn, Xm
+	CMPI // CMP Xn, #imm
+
+	// Pointer authentication (ARMv8.3-A).
+	PACIA   // PACIA Xd, Xn            sign Rd with IA key, modifier Rn
+	PACIB   // PACIB Xd, Xn
+	AUTIA   // AUTIA Xd, Xn            authenticate Rd with IA key, modifier Rn
+	AUTIB   // AUTIB Xd, Xn
+	PACIASP // PACIASP                 sign LR with IA key, modifier SP
+	AUTIASP // AUTIASP                 authenticate LR with IA key, modifier SP
+	RETAA   // RETAA                   AUTIASP + RET fused
+	PACGA   // PACGA Xd, Xn, Xm        generic 32-bit MAC
+	XPACI   // XPACI Xd                strip PAC
+
+	// System.
+	SVC // SVC #imm                supervisor call
+	HLT // HLT                     stop the machine (test harness only)
+
+	numOps
+)
+
+// Cond is a branch condition for BCND.
+type Cond int
+
+// Branch conditions (signed comparisons).
+const (
+	EQ Cond = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String returns the assembler suffix of the condition.
+func (c Cond) String() string {
+	switch c {
+	case EQ:
+		return "EQ"
+	case NE:
+		return "NE"
+	case LT:
+		return "LT"
+	case LE:
+		return "LE"
+	case GT:
+		return "GT"
+	case GE:
+		return "GE"
+	}
+	return fmt.Sprintf("Cond(%d)", int(c))
+}
+
+// InstrSize is the size of one instruction in address units. The
+// simulator encoding (see encode.go) packs each instruction into
+// eight bytes: one word of operation/operand fields and one word of
+// immediate.
+const InstrSize = 8
+
+// Instr is one symbolic instruction.
+type Instr struct {
+	Op   Op
+	Rd   Reg   // destination (first operand register)
+	Rn   Reg   // first source / base register
+	Rm   Reg   // second source / pair register
+	Imm  int64 // immediate / offset
+	Cond Cond  // for BCND
+
+	// Label is the symbolic branch target; Link resolves it into
+	// Target (an absolute address).
+	Label  string
+	Target uint64
+}
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	lbl := func() string {
+		if i.Label != "" {
+			return i.Label
+		}
+		return fmt.Sprintf("%#x", i.Target)
+	}
+	switch i.Op {
+	case NOP:
+		return "NOP"
+	case MOVZ:
+		return fmt.Sprintf("MOVZ %s, #%d", i.Rd, i.Imm)
+	case MOV:
+		return fmt.Sprintf("MOV %s, %s", i.Rd, i.Rn)
+	case ADD:
+		return fmt.Sprintf("ADD %s, %s, %s", i.Rd, i.Rn, i.Rm)
+	case ADDI:
+		return fmt.Sprintf("ADD %s, %s, #%d", i.Rd, i.Rn, i.Imm)
+	case SUB:
+		return fmt.Sprintf("SUB %s, %s, %s", i.Rd, i.Rn, i.Rm)
+	case SUBI:
+		return fmt.Sprintf("SUB %s, %s, #%d", i.Rd, i.Rn, i.Imm)
+	case EOR:
+		return fmt.Sprintf("EOR %s, %s, %s", i.Rd, i.Rn, i.Rm)
+	case AND:
+		return fmt.Sprintf("AND %s, %s, %s", i.Rd, i.Rn, i.Rm)
+	case ORR:
+		return fmt.Sprintf("ORR %s, %s, %s", i.Rd, i.Rn, i.Rm)
+	case LSLI:
+		return fmt.Sprintf("LSL %s, %s, #%d", i.Rd, i.Rn, i.Imm)
+	case LSRI:
+		return fmt.Sprintf("LSR %s, %s, #%d", i.Rd, i.Rn, i.Imm)
+	case MUL:
+		return fmt.Sprintf("MUL %s, %s, %s", i.Rd, i.Rn, i.Rm)
+	case LDR:
+		return fmt.Sprintf("LDR %s, [%s, #%d]", i.Rd, i.Rn, i.Imm)
+	case STR:
+		return fmt.Sprintf("STR %s, [%s, #%d]", i.Rd, i.Rn, i.Imm)
+	case LDRPOST:
+		return fmt.Sprintf("LDR %s, [%s], #%d", i.Rd, i.Rn, i.Imm)
+	case STRPRE:
+		return fmt.Sprintf("STR %s, [%s, #%d]!", i.Rd, i.Rn, i.Imm)
+	case LDP:
+		return fmt.Sprintf("LDP %s, %s, [%s, #%d]", i.Rd, i.Rm, i.Rn, i.Imm)
+	case STP:
+		return fmt.Sprintf("STP %s, %s, [%s, #%d]", i.Rd, i.Rm, i.Rn, i.Imm)
+	case LDPPOST:
+		return fmt.Sprintf("LDP %s, %s, [%s], #%d", i.Rd, i.Rm, i.Rn, i.Imm)
+	case STPPRE:
+		return fmt.Sprintf("STP %s, %s, [%s, #%d]!", i.Rd, i.Rm, i.Rn, i.Imm)
+	case B:
+		return fmt.Sprintf("B %s", lbl())
+	case BL:
+		return fmt.Sprintf("BL %s", lbl())
+	case BR:
+		return fmt.Sprintf("BR %s", i.Rn)
+	case BLR:
+		return fmt.Sprintf("BLR %s", i.Rn)
+	case RET:
+		if i.Rn != LR {
+			return fmt.Sprintf("RET %s", i.Rn)
+		}
+		return "RET"
+	case BCND:
+		return fmt.Sprintf("B.%s %s", i.Cond, lbl())
+	case CBZ:
+		return fmt.Sprintf("CBZ %s, %s", i.Rn, lbl())
+	case CBNZ:
+		return fmt.Sprintf("CBNZ %s, %s", i.Rn, lbl())
+	case CMP:
+		return fmt.Sprintf("CMP %s, %s", i.Rn, i.Rm)
+	case CMPI:
+		return fmt.Sprintf("CMP %s, #%d", i.Rn, i.Imm)
+	case PACIA:
+		return fmt.Sprintf("PACIA %s, %s", i.Rd, i.Rn)
+	case PACIB:
+		return fmt.Sprintf("PACIB %s, %s", i.Rd, i.Rn)
+	case AUTIA:
+		return fmt.Sprintf("AUTIA %s, %s", i.Rd, i.Rn)
+	case AUTIB:
+		return fmt.Sprintf("AUTIB %s, %s", i.Rd, i.Rn)
+	case PACIASP:
+		return "PACIASP"
+	case AUTIASP:
+		return "AUTIASP"
+	case RETAA:
+		return "RETAA"
+	case PACGA:
+		return fmt.Sprintf("PACGA %s, %s, %s", i.Rd, i.Rn, i.Rm)
+	case XPACI:
+		return fmt.Sprintf("XPACI %s", i.Rd)
+	case SVC:
+		return fmt.Sprintf("SVC #%d", i.Imm)
+	case HLT:
+		return "HLT"
+	}
+	return fmt.Sprintf("Op(%d)", int(i.Op))
+}

@@ -1,0 +1,314 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{
+		X0: "X0", X17: "X17", X28: "X28", FP: "FP", LR: "LR", SP: "SP", XZR: "XZR",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestAliases(t *testing.T) {
+	if FP != X29 || LR != X30 || CR != X28 || SCS != X18 {
+		t.Error("register aliases do not match the AArch64 / PACStack conventions")
+	}
+}
+
+func TestBuilderLink(t *testing.T) {
+	b := NewBuilder(0x10000)
+	b.Label("main")
+	b.Emit(Instr{Op: BL, Label: "f"})
+	b.Emit(Instr{Op: HLT})
+	b.Label("f")
+	b.Emit(Instr{Op: RET, Rn: LR})
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MustLookup("f") != 0x10010 {
+		t.Errorf("f at %#x", p.MustLookup("f"))
+	}
+	if p.Instrs[0].Target != 0x10010 {
+		t.Errorf("BL target = %#x", p.Instrs[0].Target)
+	}
+	if p.Size() != 3*InstrSize {
+		t.Errorf("Size = %d", p.Size())
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder(0)
+	b.Emit(Instr{Op: B, Label: "nowhere"})
+	if _, err := b.Link(); err == nil {
+		t.Error("undefined label linked without error")
+	}
+}
+
+func TestBuilderDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate label")
+		}
+	}()
+	b := NewBuilder(0)
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestMovzLabelTakesAddress(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.Emit(Instr{Op: MOVZ, Rd: X0, Label: "target"})
+	b.Emit(Instr{Op: HLT})
+	b.Label("target")
+	b.Emit(Instr{Op: RET})
+	p := b.MustLink()
+	if p.Instrs[0].Imm != 0x1010 {
+		t.Errorf("MOVZ =target Imm = %#x, want 0x1010", p.Instrs[0].Imm)
+	}
+}
+
+func TestProgramAt(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.Emit(Instr{Op: NOP}, Instr{Op: HLT})
+	p := b.MustLink()
+	ins, err := p.At(0x1008)
+	if err != nil || ins.Op != HLT {
+		t.Errorf("At(0x1008) = %v, %v", ins, err)
+	}
+	if _, err := p.At(0x1010); err == nil {
+		t.Error("At past end succeeded")
+	}
+	if _, err := p.At(0x1004); err == nil {
+		t.Error("misaligned At succeeded")
+	}
+	if _, err := p.At(0xFF8); err == nil {
+		t.Error("At before base succeeded")
+	}
+}
+
+func TestSymbolFor(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.Label("a")
+	b.Emit(Instr{Op: NOP}, Instr{Op: NOP})
+	b.Label("b")
+	b.Emit(Instr{Op: NOP})
+	p := b.MustLink()
+	if sym, off := p.SymbolFor(0x1008); sym != "a" || off != 8 {
+		t.Errorf("SymbolFor(0x1008) = %s+%d", sym, off)
+	}
+	if sym, off := p.SymbolFor(0x1010); sym != "b" || off != 0 {
+		t.Errorf("SymbolFor(0x1010) = %s+%d", sym, off)
+	}
+}
+
+func TestAssembleListing1(t *testing.T) {
+	// The -mbranch-protection prologue/epilogue of Listing 1.
+	src := `
+prologue:
+    paciasp            ; sign LR using SP
+    str LR, [SP, #-16]! ; push LR onto stack
+epilogue:
+    ldr LR, [SP], #16  ; pop stack onto LR
+    retaa              ; verify LR and return
+`
+	p, err := Assemble(0x10000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []Op{PACIASP, STRPRE, LDRPOST, RETAA}
+	if len(p.Instrs) != len(wantOps) {
+		t.Fatalf("got %d instructions", len(p.Instrs))
+	}
+	for i, op := range wantOps {
+		if p.Instrs[i].Op != op {
+			t.Errorf("instr %d = %v", i, p.Instrs[i])
+		}
+	}
+	if p.Instrs[1].Imm != -16 {
+		t.Errorf("pre-index imm = %d", p.Instrs[1].Imm)
+	}
+}
+
+func TestAssembleListing3Fragment(t *testing.T) {
+	// The PACStack masked prologue of Listing 3.
+	src := `
+prologue:
+    str X28, [SP, #-32]!
+    stp FP, LR, [SP, #16]
+    mov X15, XZR
+    pacia LR, X28
+    pacia X15, X28
+    eor LR, LR, X15
+    mov X15, XZR
+    mov X28, LR
+`
+	p, err := Assemble(0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[1].Op != STP || p.Instrs[1].Rd != FP || p.Instrs[1].Rm != LR {
+		t.Errorf("stp parsed as %v", p.Instrs[1])
+	}
+	if p.Instrs[3].Op != PACIA || p.Instrs[3].Rd != LR || p.Instrs[3].Rn != CR {
+		t.Errorf("pacia parsed as %v", p.Instrs[3])
+	}
+}
+
+func TestAssembleBranchesAndConds(t *testing.T) {
+	src := `
+start:
+    movz X0, #10
+loop:
+    sub X0, X0, #1
+    cmp X0, #0
+    b.ne loop
+    cbz X0, done
+    b loop
+done:
+    hlt
+`
+	p, err := Assemble(0x4000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bne := p.Instrs[3]
+	if bne.Op != BCND || bne.Cond != NE || bne.Target != p.MustLookup("loop") {
+		t.Errorf("b.ne = %+v", bne)
+	}
+	cbz := p.Instrs[4]
+	if cbz.Op != CBZ || cbz.Target != p.MustLookup("done") {
+		t.Errorf("cbz = %+v", cbz)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"frob X0, X1",                    // unknown mnemonic
+		"mov X0",                         // missing operand
+		"ldr X0, [X99, #0]",              // bad register
+		"b.xx somewhere\nsomewhere: nop", // bad condition
+		"ldr X0, [SP, #0]!",              // LDR pre-index unsupported
+		"str X0, [SP], #16",              // STR post-index unsupported
+		"add X0, X1",                     // too few operands
+		"x: nop\nx: nop",                 // duplicate label
+		"bad label: nop",                 // label with space
+		"cmp X0, #zz",                    // bad immediate
+		"b nowhere",                      // undefined label
+		"ldr X0,[]",                      // empty address (fuzzer regression)
+		"ldr X0, [SP",                    // unterminated address
+	}
+	for _, src := range bad {
+		if _, err := Assemble(0, src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestDisassembleAssembleRoundTrip(t *testing.T) {
+	src := `
+main:
+    movz X0, #42
+    movz X1, =helper
+    blr X1
+    mov X2, X0
+    add X2, X2, #8
+    sub X3, X2, X0
+    eor X4, X2, X3
+    and X5, X4, X2
+    orr X6, X5, X4
+    mul X7, X6, X2
+    lsl X8, X7, #3
+    lsr X9, X8, #2
+    ldr X10, [SP, #0]
+    str X10, [SP, #8]
+    ldp FP, LR, [SP, #16]
+    stp FP, LR, [SP, #16]
+    ldp X19, X20, [SP], #32
+    stp X19, X20, [SP, #-32]!
+    cmp X0, X1
+    b.le main
+    pacga X11, X0, X1
+    xpaci X11
+    pacia X12, X28
+    autia X12, X28
+    pacib X13, X28
+    autib X13, X28
+    svc #93
+    ret
+helper:
+    ret X17
+`
+	p1, err := Assemble(0x8000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := p1.Disassemble()
+	// Strip addresses back off and re-assemble.
+	var clean []string
+	for _, line := range strings.Split(dis, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			clean = append(clean, line)
+			continue
+		}
+		fields := strings.SplitN(line, "  ", 2)
+		if len(fields) == 2 {
+			clean = append(clean, fields[1])
+		}
+	}
+	p2, err := Assemble(0x8000, strings.Join(clean, "\n"))
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, dis)
+	}
+	if len(p1.Instrs) != len(p2.Instrs) {
+		t.Fatalf("instruction count changed: %d -> %d", len(p1.Instrs), len(p2.Instrs))
+	}
+	for i := range p1.Instrs {
+		a, b := p1.Instrs[i], p2.Instrs[i]
+		a.Label, b.Label = "", "" // labels may become raw addresses
+		if a != b {
+			t.Errorf("instr %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestCondString(t *testing.T) {
+	for c, want := range map[Cond]string{EQ: "EQ", NE: "NE", LT: "LT", LE: "LE", GT: "GT", GE: "GE"} {
+		if c.String() != want {
+			t.Errorf("Cond %d = %q", c, c.String())
+		}
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: NOP}, "NOP"},
+		{Instr{Op: RET, Rn: LR}, "RET"},
+		{Instr{Op: RET, Rn: X17}, "RET X17"},
+		{Instr{Op: MOVZ, Rd: X3, Imm: 7}, "MOVZ X3, #7"},
+		{Instr{Op: STRPRE, Rd: LR, Rn: SP, Imm: -16}, "STR LR, [SP, #-16]!"},
+		{Instr{Op: LDRPOST, Rd: LR, Rn: SP, Imm: 16}, "LDR LR, [SP], #16"},
+		{Instr{Op: BCND, Cond: NE, Label: "x"}, "B.NE x"},
+		{Instr{Op: SVC, Imm: 93}, "SVC #93"},
+		{Instr{Op: PACIA, Rd: LR, Rn: CR}, "PACIA LR, X28"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

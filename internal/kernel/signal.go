@@ -1,0 +1,166 @@
+package kernel
+
+import (
+	"fmt"
+
+	"pacstack/internal/isa"
+)
+
+// Signal frame layout, in 64-bit words from the frame base (which is
+// the task's SP while the handler runs):
+//
+//	[0]              saved PC (sigret)
+//	[1]              saved NZCV flags
+//	[2]              previous asigret reference (Appendix B chain)
+//	[3 .. 3+32)      X0..X30, SP
+//
+// The frame lives on the user stack — deliberately: this is the
+// attack surface of sigreturn-oriented programming (Section 6.3.2).
+const (
+	frameWords = 3 + 32
+	// FrameSize is the stack space a signal frame occupies, kept
+	// 16-byte aligned like the AArch64 ABI requires.
+	FrameSize = (frameWords*8 + 15) &^ 15
+)
+
+func packFlags(n, z, c, v bool) uint64 {
+	var f uint64
+	if n {
+		f |= 8
+	}
+	if z {
+		f |= 4
+	}
+	if c {
+		f |= 2
+	}
+	if v {
+		f |= 1
+	}
+	return f
+}
+
+// chainRef computes the Appendix B reference value: a generic-key MAC
+// binding the frame's PC and CR to the previous reference, so that
+// neither can be forged nor an old frame replayed.
+func (p *Process) chainRef(pc, cr, prev uint64) uint64 {
+	inner := p.Auth.PACGA(cr, prev)
+	return p.Auth.PACGA(pc, inner)
+}
+
+// fullFrameRef extends chainRef over every saved register, the
+// Appendix B closing suggestion: "for general protection against
+// sigreturn attacks corrupting any register stored in the signal
+// frame, all register values could be included in the asigret
+// calculation using the pacga instruction". The registers are folded
+// pairwise through PACGA so each value position-dependently affects
+// the final reference.
+func (p *Process) fullFrameRef(pc uint64, regs [isa.NumRegs]uint64, flags, prev uint64) uint64 {
+	acc := p.Auth.PACGA(flags, prev)
+	for i := 0; i < 32; i++ {
+		acc = p.Auth.PACGA(regs[i], acc|uint64(i))
+	}
+	return p.Auth.PACGA(pc, acc)
+}
+
+// DeliverSignal suspends task t and enters handler, exactly as the
+// kernel would: the task's full register state is written to a signal
+// frame on the user stack, SP is moved below the frame, and LR is
+// pointed at the sigreturn trampoline so that returning from the
+// handler issues the sigreturn system call.
+//
+// With HardenedSigreturn the kernel additionally records the chained
+// reference asigret_n in kernel space (Appendix B).
+func (p *Process) DeliverSignal(t *Task, signo uint64, handler, trampoline uint64) error {
+	m := t.M
+	base := m.Reg(isa.SP) - FrameSize
+
+	regs := m.Regs()
+	if err := p.Mem.Write64(base, m.PC); err != nil {
+		return fmt.Errorf("kernel: writing signal frame: %w", err)
+	}
+	if err := p.Mem.Write64(base+8, packFlags(m.N, m.Z, m.C, m.V)); err != nil {
+		return err
+	}
+	var prev uint64
+	if n := len(t.sigRefs); n > 0 {
+		prev = t.sigRefs[n-1]
+	}
+	if err := p.Mem.Write64(base+16, prev); err != nil {
+		return err
+	}
+	for i := 0; i < 32; i++ {
+		if err := p.Mem.Write64(base+24+uint64(8*i), regs[i]); err != nil {
+			return err
+		}
+	}
+
+	switch {
+	case p.FullFrameSigreturn:
+		t.sigRefs = append(t.sigRefs, p.fullFrameRef(m.PC, regs, packFlags(m.N, m.Z, m.C, m.V), prev))
+	case p.HardenedSigreturn:
+		t.sigRefs = append(t.sigRefs, p.chainRef(m.PC, m.Reg(isa.CR), prev))
+	}
+
+	m.PC = handler
+	m.SetReg(isa.SP, base)
+	m.SetReg(isa.LR, trampoline)
+	m.SetReg(isa.X0, signo)
+	return nil
+}
+
+// sigreturn restores the context from the signal frame at the task's
+// current SP. Without hardening the restore is blind — the classic
+// SROP condition. With hardening the kernel validates the frame's PC
+// and CR against the kernel-held chained reference and kills the
+// process on mismatch.
+func (p *Process) sigreturn(t *Task) error {
+	m := t.M
+	base := m.Reg(isa.SP)
+
+	pc, err := p.Mem.Read64(base)
+	if err != nil {
+		return fmt.Errorf("kernel: reading signal frame: %w", err)
+	}
+	flags, err := p.Mem.Read64(base + 8)
+	if err != nil {
+		return err
+	}
+	prev, err := p.Mem.Read64(base + 16)
+	if err != nil {
+		return err
+	}
+	var regs [isa.NumRegs]uint64
+	for i := 0; i < 32; i++ {
+		v, err := p.Mem.Read64(base + 24 + uint64(8*i))
+		if err != nil {
+			return err
+		}
+		regs[i] = v
+	}
+
+	if p.HardenedSigreturn || p.FullFrameSigreturn {
+		n := len(t.sigRefs)
+		if n == 0 {
+			p.Exited = true
+			return fmt.Errorf("%w: sigreturn with no signal in flight", ErrProcessKilled)
+		}
+		want := t.sigRefs[n-1]
+		var got uint64
+		if p.FullFrameSigreturn {
+			got = p.fullFrameRef(pc, regs, flags, prev)
+		} else {
+			got = p.chainRef(pc, regs[isa.CR], prev)
+		}
+		if got != want {
+			p.Exited = true
+			return fmt.Errorf("%w: forged signal frame (PC %#x)", ErrProcessKilled, pc)
+		}
+		t.sigRefs = t.sigRefs[:n-1]
+	}
+
+	m.SetRegs(regs)
+	m.N, m.Z, m.C, m.V = flags&8 != 0, flags&4 != 0, flags&2 != 0, flags&1 != 0
+	m.PC = pc
+	return nil
+}

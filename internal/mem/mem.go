@@ -1,0 +1,267 @@
+// Package mem provides the simulated process address space: sparse,
+// paged, little-endian memory with per-page permissions.
+//
+// The W⊕X policy of the PACStack adversary model (assumption A1) is
+// enforced structurally: a page can never be mapped or re-protected
+// as both writable and executable, and the adversary's raw-access
+// window (Adversary) can corrupt any readable data but can never
+// touch executable pages.
+package mem
+
+import "fmt"
+
+// Perm is a page permission bit set.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermR Perm = 1 << iota
+	PermW
+	PermX
+)
+
+// Common permission combinations.
+const (
+	PermRW = PermR | PermW
+	PermRX = PermR | PermX
+)
+
+// String renders the permissions in ls -l style, e.g. "rw-".
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermR != 0 {
+		b[0] = 'r'
+	}
+	if p&PermW != 0 {
+		b[1] = 'w'
+	}
+	if p&PermX != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// AccessKind distinguishes the operation that faulted.
+type AccessKind int
+
+// Kinds of memory access.
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+	AccessFetch
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessFetch:
+		return "fetch"
+	}
+	return "access"
+}
+
+// Fault is a memory access violation: unmapped address or permission
+// mismatch. It corresponds to the MMU translation/permission faults
+// that terminate a process under the paper's "failed guess crashes the
+// program" assumption.
+type Fault struct {
+	Addr   uint64
+	Kind   AccessKind
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mem: %s fault at %#x: %s", f.Kind, f.Addr, f.Reason)
+}
+
+// PageSize is the simulated page granularity.
+const PageSize = 4096
+
+type page struct {
+	perm Perm
+	data [PageSize]byte
+}
+
+// Memory is one simulated address space. It is not safe for
+// concurrent mutation; the kernel serializes access, matching a
+// single-core interleaving model.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// Clone returns a deep copy of the address space: the copy-on-write
+// effect of fork, fully materialized. Used by the kernel's fork and
+// by attack harnesses that replay a process from a snapshot.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{pages: make(map[uint64]*page, len(m.pages))}
+	for k, pg := range m.pages {
+		cp := *pg
+		c.pages[k] = &cp
+	}
+	return c
+}
+
+// Map creates pages covering [addr, addr+size) with the given
+// permissions. Mapping W+X is rejected (W⊕X), as is overlapping an
+// existing mapping.
+func (m *Memory) Map(addr, size uint64, perm Perm) error {
+	if perm&PermW != 0 && perm&PermX != 0 {
+		return fmt.Errorf("mem: W+X mapping at %#x violates W⊕X", addr)
+	}
+	if size == 0 {
+		return fmt.Errorf("mem: zero-size mapping at %#x", addr)
+	}
+	first := addr / PageSize
+	last := (addr + size - 1) / PageSize
+	for p := first; p <= last; p++ {
+		if _, ok := m.pages[p]; ok {
+			return fmt.Errorf("mem: mapping at %#x overlaps existing page %#x", addr, p*PageSize)
+		}
+	}
+	for p := first; p <= last; p++ {
+		m.pages[p] = &page{perm: perm}
+	}
+	return nil
+}
+
+// Protect changes the permissions of already-mapped pages. W+X is
+// rejected.
+func (m *Memory) Protect(addr, size uint64, perm Perm) error {
+	if perm&PermW != 0 && perm&PermX != 0 {
+		return fmt.Errorf("mem: W+X protection at %#x violates W⊕X", addr)
+	}
+	first := addr / PageSize
+	last := (addr + size - 1) / PageSize
+	for p := first; p <= last; p++ {
+		if _, ok := m.pages[p]; !ok {
+			return &Fault{Addr: p * PageSize, Kind: AccessWrite, Reason: "protect of unmapped page"}
+		}
+	}
+	for p := first; p <= last; p++ {
+		m.pages[p].perm = perm
+	}
+	return nil
+}
+
+// Perm returns the permissions of the page containing addr, or 0 if
+// unmapped.
+func (m *Memory) Perm(addr uint64) Perm {
+	pg, ok := m.pages[addr/PageSize]
+	if !ok {
+		return 0
+	}
+	return pg.perm
+}
+
+// Mapped reports whether addr lies in a mapped page.
+func (m *Memory) Mapped(addr uint64) bool {
+	_, ok := m.pages[addr/PageSize]
+	return ok
+}
+
+func (m *Memory) access(addr uint64, n int, kind AccessKind, need Perm) (*page, int, error) {
+	pg, ok := m.pages[addr/PageSize]
+	if !ok {
+		return nil, 0, &Fault{Addr: addr, Kind: kind, Reason: "unmapped"}
+	}
+	off := int(addr % PageSize)
+	if off+n > PageSize {
+		// Multi-page accesses are handled byte-wise by callers; the
+		// word accessors reject page-straddling for simplicity.
+		return nil, 0, &Fault{Addr: addr, Kind: kind, Reason: "access straddles page boundary"}
+	}
+	if pg.perm&need != need {
+		return nil, 0, &Fault{Addr: addr, Kind: kind,
+			Reason: fmt.Sprintf("permission %s lacks %s", pg.perm, need)}
+	}
+	return pg, off, nil
+}
+
+// Read64 loads a little-endian 64-bit word.
+func (m *Memory) Read64(addr uint64) (uint64, error) {
+	pg, off, err := m.access(addr, 8, AccessRead, PermR)
+	if err != nil {
+		return 0, err
+	}
+	return le64(pg.data[off:]), nil
+}
+
+// Write64 stores a little-endian 64-bit word.
+func (m *Memory) Write64(addr, v uint64) error {
+	pg, off, err := m.access(addr, 8, AccessWrite, PermW)
+	if err != nil {
+		return err
+	}
+	putLE64(pg.data[off:], v)
+	return nil
+}
+
+// Read8 loads one byte.
+func (m *Memory) Read8(addr uint64) (byte, error) {
+	pg, off, err := m.access(addr, 1, AccessRead, PermR)
+	if err != nil {
+		return 0, err
+	}
+	return pg.data[off], nil
+}
+
+// Write8 stores one byte.
+func (m *Memory) Write8(addr uint64, v byte) error {
+	pg, off, err := m.access(addr, 1, AccessWrite, PermW)
+	if err != nil {
+		return err
+	}
+	pg.data[off] = v
+	return nil
+}
+
+// CheckFetch verifies that addr may be executed from.
+func (m *Memory) CheckFetch(addr uint64) error {
+	_, _, err := m.access(addr, 1, AccessFetch, PermX)
+	return err
+}
+
+// ReadBytes copies size bytes starting at addr.
+func (m *Memory) ReadBytes(addr, size uint64) ([]byte, error) {
+	out := make([]byte, size)
+	for i := uint64(0); i < size; i++ {
+		b, err := m.Read8(addr + i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// WriteBytes stores b starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) error {
+	for i, x := range b {
+		if err := m.Write8(addr+uint64(i), x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> uint(8*i))
+	}
+}

@@ -1,0 +1,246 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustMap(t *testing.T, m *Memory, addr, size uint64, perm Perm) {
+	t.Helper()
+	if err := m.Map(addr, size, perm); err != nil {
+		t.Fatalf("Map(%#x, %d, %s): %v", addr, size, perm, err)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, PermRW)
+	f := func(off uint16, v uint64) bool {
+		addr := 0x1000 + uint64(off)%(PageSize-8)
+		if err := m.Write64(addr, v); err != nil {
+			return false
+		}
+		got, err := m.Read64(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, PermRW)
+	if err := m.Write64(0x1000, 0x0102030405060708); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Read8(0x1000)
+	if err != nil || b != 0x08 {
+		t.Errorf("byte 0 = %#x, err %v; want 0x08", b, err)
+	}
+	b, _ = m.Read8(0x1007)
+	if b != 0x01 {
+		t.Errorf("byte 7 = %#x, want 0x01", b)
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	m := New()
+	if _, err := m.Read64(0x1000); err == nil {
+		t.Error("read of unmapped memory did not fault")
+	}
+	var f *Fault
+	_, err := m.Read64(0x1000)
+	if !errors.As(err, &f) {
+		t.Fatalf("error is not a *Fault: %v", err)
+	}
+	if f.Kind != AccessRead || f.Addr != 0x1000 {
+		t.Errorf("fault = %+v", f)
+	}
+}
+
+func TestPermissionEnforcement(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, PermR)   // read-only
+	mustMap(t, m, 0x10000, PageSize, PermRX) // code
+	mustMap(t, m, 0x20000, PageSize, PermRW) // data
+
+	if err := m.Write64(0x1000, 1); err == nil {
+		t.Error("write to read-only page succeeded")
+	}
+	if err := m.CheckFetch(0x1000); err == nil {
+		t.Error("fetch from non-executable page succeeded")
+	}
+	if err := m.CheckFetch(0x10000); err != nil {
+		t.Errorf("fetch from code page faulted: %v", err)
+	}
+	if err := m.Write64(0x10000, 1); err == nil {
+		t.Error("write to code page succeeded (W⊕X broken)")
+	}
+	if err := m.CheckFetch(0x20000); err == nil {
+		t.Error("fetch from data page succeeded (W⊕X broken)")
+	}
+}
+
+func TestWXMappingRejected(t *testing.T) {
+	m := New()
+	if err := m.Map(0x1000, PageSize, PermR|PermW|PermX); err == nil {
+		t.Error("W+X mapping accepted")
+	}
+	mustMap(t, m, 0x1000, PageSize, PermRW)
+	if err := m.Protect(0x1000, PageSize, PermW|PermX); err == nil {
+		t.Error("W+X protect accepted")
+	}
+}
+
+func TestOverlappingMapRejected(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, 2*PageSize, PermRW)
+	if err := m.Map(0x1800, PageSize, PermR); err == nil {
+		t.Error("overlapping map accepted")
+	}
+	if err := m.Map(0x1000, 0, PermR); err == nil {
+		t.Error("zero-size map accepted")
+	}
+}
+
+func TestProtectChangesPerms(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, PermRW)
+	if err := m.Write64(0x1000, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(0x1000, PageSize, PermR); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write64(0x1000, 43); err == nil {
+		t.Error("write after downgrade to read-only succeeded")
+	}
+	v, err := m.Read64(0x1000)
+	if err != nil || v != 42 {
+		t.Errorf("data lost across Protect: %d, %v", v, err)
+	}
+	if err := m.Protect(0x5000, PageSize, PermR); err == nil {
+		t.Error("protect of unmapped page succeeded")
+	}
+}
+
+func TestPageStraddleRejected(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, 2*PageSize, PermRW)
+	if _, err := m.Read64(0x1000 + PageSize - 4); err == nil {
+		t.Error("straddling word read succeeded")
+	}
+	// Byte-wise access across the boundary is fine.
+	if err := m.WriteBytes(0x1000+PageSize-4, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Errorf("byte-wise straddle failed: %v", err)
+	}
+	got, err := m.ReadBytes(0x1000+PageSize-4, 8)
+	if err != nil || got[7] != 8 {
+		t.Errorf("ReadBytes = %v, %v", got, err)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if s := PermRW.String(); s != "rw-" {
+		t.Errorf("PermRW = %q", s)
+	}
+	if s := PermRX.String(); s != "r-x" {
+		t.Errorf("PermRX = %q", s)
+	}
+	if s := Perm(0).String(); s != "---" {
+		t.Errorf("Perm(0) = %q", s)
+	}
+}
+
+func TestAdversaryPeekIgnoresPerms(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, Perm(0)) // no access at all
+	adv := NewAdversary(m)
+	if _, err := adv.Peek(0x1000); err != nil {
+		t.Errorf("adversary could not read a no-access page: %v", err)
+	}
+	if _, err := adv.Peek(0x9000); err == nil {
+		t.Error("adversary read unmapped memory")
+	}
+}
+
+func TestAdversaryPokeRespectsWX(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, PermR) // read-only data
+	mustMap(t, m, 0x2000, PageSize, PermRX)
+	adv := NewAdversary(m)
+	if err := adv.Poke(0x1000, 0xdead); err != nil {
+		t.Errorf("adversary blocked from read-only data page: %v", err)
+	}
+	v, _ := m.Read64(0x1000)
+	if v != 0xdead {
+		t.Errorf("poke did not land: %#x", v)
+	}
+	if err := adv.Poke(0x2000, 0xdead); err == nil {
+		t.Error("adversary modified executable memory")
+	}
+}
+
+func TestAdversaryScan(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, PermRW)
+	for i := uint64(0); i < 4; i++ {
+		if err := m.Write64(0x1000+8*i, 100+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := NewAdversary(m).Scan(0x1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != uint64(100+i) {
+			t.Errorf("scan[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Addr: 0x42, Kind: AccessFetch, Reason: "unmapped"}
+	want := "mem: fetch fault at 0x42: unmapped"
+	if f.Error() != want {
+		t.Errorf("Error() = %q, want %q", f.Error(), want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, PermRW)
+	mustMap(t, m, 0x3000, PageSize, PermRX)
+	if err := m.Write64(0x1000, 42); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	// Same contents and permissions...
+	if v, _ := c.Read64(0x1000); v != 42 {
+		t.Errorf("clone lost data: %d", v)
+	}
+	if c.Perm(0x3000) != PermRX {
+		t.Errorf("clone lost permissions: %v", c.Perm(0x3000))
+	}
+	// ...but writes diverge both ways.
+	if err := c.Write64(0x1000, 43); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read64(0x1000); v != 42 {
+		t.Error("clone write leaked into the original")
+	}
+	if err := m.Write64(0x1008, 99); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Read64(0x1008); v == 99 {
+		t.Error("original write leaked into the clone")
+	}
+	// New mappings do not propagate either.
+	mustMap(t, c, 0x5000, PageSize, PermRW)
+	if m.Mapped(0x5000) {
+		t.Error("clone mapping appeared in the original")
+	}
+}

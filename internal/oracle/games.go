@@ -1,0 +1,193 @@
+package oracle
+
+import "math/rand"
+
+// CollisionAdversary plays G_PAC-Collision (Figure 6): it submits q
+// oracle queries (x, y), observes the returned tokens, and finally
+// outputs (x, y, y') claiming H(x, y) == H(x, y') with y != y'.
+type CollisionAdversary interface {
+	// Query returns the i-th oracle request.
+	Query(i int) (x, y uint64)
+	// Observe receives the token for the i-th request.
+	Observe(i int, token uint64)
+	// Guess returns the claimed colliding inputs.
+	Guess() (x, y, yPrime uint64)
+}
+
+// CollisionGame is the Figure 6 challenger. With Masked the oracle
+// answers are blinded per Section 4.2 — the PACStack configuration —
+// otherwise the raw tokens are returned (PACStack-nomask).
+type CollisionGame struct {
+	H      *RandomOracle
+	Masked bool
+}
+
+// Play runs the game with q queries and reports whether the adversary
+// produced a genuine collision (checked against the unmasked oracle,
+// as in the figure).
+func (g *CollisionGame) Play(adv CollisionAdversary, q int) bool {
+	for i := 0; i < q; i++ {
+		x, y := adv.Query(i)
+		var tok uint64
+		if g.Masked {
+			tok = g.H.MaskedTag(x, y)
+		} else {
+			tok = g.H.Tag(x, y)
+		}
+		adv.Observe(i, tok)
+	}
+	x, y, yp := adv.Guess()
+	if y == yp {
+		return false
+	}
+	return g.H.Tag(x, y) == g.H.Tag(x, yp)
+}
+
+// HarvestAdversary is the natural collision finder of Section 6.2.1:
+// it queries one fixed pointer (the loader's return site ret_C) under
+// many distinct modifiers — the aret values the attacker can steer
+// the program through — and guesses the first pair of equal observed
+// tokens. Against unmasked tokens this wins as soon as a collision
+// exists; against masked tokens equal observations are uninformative
+// and its success collapses to chance.
+type HarvestAdversary struct {
+	X    uint64
+	rng  *rand.Rand
+	ys   []uint64
+	toks []uint64
+}
+
+// NewHarvestAdversary returns a harvesting adversary targeting
+// pointer x.
+func NewHarvestAdversary(x uint64, seed int64) *HarvestAdversary {
+	return &HarvestAdversary{X: x, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Query implements CollisionAdversary: fresh random modifiers, fixed
+// pointer.
+func (a *HarvestAdversary) Query(i int) (uint64, uint64) {
+	y := a.rng.Uint64()
+	a.ys = append(a.ys, y)
+	return a.X, y
+}
+
+// Observe implements CollisionAdversary.
+func (a *HarvestAdversary) Observe(i int, token uint64) {
+	a.toks = append(a.toks, token)
+}
+
+// Guess implements CollisionAdversary: the first observed token
+// collision, or a random pair when none is visible.
+func (a *HarvestAdversary) Guess() (uint64, uint64, uint64) {
+	seen := make(map[uint64]int, len(a.toks))
+	for i, t := range a.toks {
+		if j, ok := seen[t]; ok {
+			return a.X, a.ys[j], a.ys[i]
+		}
+		seen[t] = i
+	}
+	// No visible collision: guess blindly among distinct modifiers.
+	i := a.rng.Intn(len(a.ys))
+	j := a.rng.Intn(len(a.ys))
+	for j == i {
+		j = a.rng.Intn(len(a.ys))
+	}
+	return a.X, a.ys[i], a.ys[j]
+}
+
+// DistinguishAdversary plays G_PAC-Distinguish / G1 (Figures 7–8): it
+// receives q masked tokens T(x, y) for inputs of its choice together
+// with two candidate mask functions — one the real H(0, ·), one an
+// independent random oracle, in random order — and must identify the
+// real one.
+type DistinguishAdversary interface {
+	// Inputs returns the points to obtain masked tokens for.
+	Inputs(q int) [][2]uint64
+	// Distinguish is given the masked tokens and the two candidate
+	// mask functions; it returns 0 or 1, its guess for which S is
+	// the real mask.
+	Distinguish(tokens []uint64, s0, s1 func(uint64) uint64) int
+}
+
+// DistinguishGame is the Figure 7/8 challenger.
+type DistinguishGame struct {
+	Bits int
+	Seed int64
+}
+
+// Play returns true when the adversary guesses the hidden bit. A
+// success rate of 1/2 corresponds to zero advantage — the Theorem 1
+// situation, since the masks are one-time pads over the tokens.
+func (g *DistinguishGame) Play(adv DistinguishAdversary, q int) bool {
+	h := NewRandomOracle(g.Bits, g.Seed)
+	fake := NewRandomOracle(g.Bits, g.Seed+1)
+	rng := rand.New(rand.NewSource(g.Seed + 2))
+
+	inputs := adv.Inputs(q)
+	tokens := make([]uint64, len(inputs))
+	for i, in := range inputs {
+		tokens[i] = h.MaskedTag(in[0], in[1])
+	}
+
+	real := func(y uint64) uint64 { return h.Tag(0, y) }
+	rnd := func(y uint64) uint64 { return fake.Tag(0, y) }
+
+	c := rng.Intn(2)
+	var s0, s1 func(uint64) uint64
+	if c == 0 {
+		s0, s1 = real, rnd
+	} else {
+		s0, s1 = rnd, real
+	}
+	return adv.Distinguish(tokens, s0, s1) == c
+}
+
+// XorTestAdversary is the strongest generic strategy against the
+// one-time-pad structure: for each candidate mask S it strips the
+// mask from every token, T(x,y) XOR S(y), and checks the result for
+// non-uniform structure (repeated values for repeated x across
+// modifiers). Perfect secrecy of the pad makes both candidates look
+// identical, so this adversary — like any other — is reduced to
+// guessing.
+type XorTestAdversary struct {
+	Seed int64
+	xs   [][2]uint64
+}
+
+// Inputs implements DistinguishAdversary: the same pointer under many
+// modifiers, the structure most likely to betray a bad mask.
+func (a *XorTestAdversary) Inputs(q int) [][2]uint64 {
+	rng := rand.New(rand.NewSource(a.Seed))
+	a.xs = a.xs[:0]
+	for i := 0; i < q; i++ {
+		a.xs = append(a.xs, [2]uint64{0x1234, rng.Uint64()})
+	}
+	return a.xs
+}
+
+// Distinguish implements DistinguishAdversary.
+func (a *XorTestAdversary) Distinguish(tokens []uint64, s0, s1 func(uint64) uint64) int {
+	score := func(s func(uint64) uint64) int {
+		seen := make(map[uint64]bool)
+		collisions := 0
+		for i, in := range a.xs {
+			v := tokens[i] ^ s(in[1])
+			if seen[v] {
+				collisions++
+			}
+			seen[v] = true
+		}
+		return collisions
+	}
+	// More structure (more collisions after unmasking) suggests the
+	// real mask — if the construction leaked, this would detect it.
+	c0, c1 := score(s0), score(s1)
+	switch {
+	case c0 > c1:
+		return 0
+	case c1 > c0:
+		return 1
+	default:
+		return int(a.Seed & 1)
+	}
+}

@@ -1,0 +1,235 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"pacstack/internal/stats"
+)
+
+func TestRandomOracleDeterministicPerSeed(t *testing.T) {
+	a := NewRandomOracle(16, 7)
+	b := NewRandomOracle(16, 7)
+	for i := uint64(0); i < 100; i++ {
+		if a.Tag(i, i*3) != b.Tag(i, i*3) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRandomOracle(16, 8)
+	diff := 0
+	for i := uint64(0); i < 100; i++ {
+		if a.Tag(i, i*3) != c.Tag(i, i*3) {
+			diff++
+		}
+	}
+	if diff < 90 {
+		t.Errorf("different seeds agree on %d/100 points", 100-diff)
+	}
+}
+
+func TestRandomOracleConsistency(t *testing.T) {
+	o := NewRandomOracle(8, 1)
+	v := o.Tag(5, 6)
+	for i := 0; i < 10; i++ {
+		if o.Tag(5, 6) != v {
+			t.Fatal("oracle not a function")
+		}
+	}
+	if o.Queries() != 1 {
+		t.Errorf("Queries = %d", o.Queries())
+	}
+	if o.Tag(5, 6) > 0xFF {
+		t.Error("token exceeds width")
+	}
+}
+
+func TestMaskedTagStructure(t *testing.T) {
+	o := NewRandomOracle(16, 3)
+	// MaskedTag must be Tag ^ mask with the mask depending only on
+	// the modifier.
+	m1 := o.MaskedTag(1, 99) ^ o.Tag(1, 99)
+	m2 := o.MaskedTag(2, 99) ^ o.Tag(2, 99)
+	if m1 != m2 {
+		t.Error("mask is not a function of the modifier alone")
+	}
+	if m1 != o.Tag(0, 99) {
+		t.Error("mask is not H(0, modifier)")
+	}
+}
+
+// Theorem 1, empirically: against unmasked tokens the harvesting
+// adversary wins the collision game essentially always once q exceeds
+// the birthday bound; with masking its win rate collapses to ~2^-b.
+func TestCollisionGameMaskingCollapsesAdvantage(t *testing.T) {
+	const (
+		bits   = 8 // keep 2^-b large enough to measure
+		trials = 400
+	)
+	q := int(stats.BirthdayExpectedDraws(bits) * 3) // well past the bound
+
+	var unmasked, masked stats.Binomial
+	for i := 0; i < trials; i++ {
+		g := &CollisionGame{H: NewRandomOracle(bits, int64(i)), Masked: false}
+		if g.Play(NewHarvestAdversary(0x40, int64(i)), q) {
+			unmasked.Successes++
+		}
+		unmasked.Trials++
+
+		g = &CollisionGame{H: NewRandomOracle(bits, int64(i+trials)), Masked: true}
+		if g.Play(NewHarvestAdversary(0x40, int64(i)), q) {
+			masked.Successes++
+		}
+		masked.Trials++
+	}
+	if unmasked.Rate() < 0.95 {
+		t.Errorf("unmasked win rate %v; should be ~1 past the birthday bound", unmasked)
+	}
+	// 2^-8 ~ 0.004; with 400 trials expect ~1.6 wins. Allow generous
+	// slack but demand collapse far below the unmasked rate.
+	if masked.Rate() > 0.05 {
+		t.Errorf("masked win rate %v; Theorem 1 bounds it near 2^-b", masked)
+	}
+}
+
+func TestCollisionGameRejectsTrivialGuess(t *testing.T) {
+	g := &CollisionGame{H: NewRandomOracle(8, 1)}
+	adv := &fixedGuess{x: 1, y: 2, yp: 2} // y == y' is not a collision
+	if g.Play(adv, 1) {
+		t.Error("y == y' accepted")
+	}
+}
+
+type fixedGuess struct{ x, y, yp uint64 }
+
+func (f *fixedGuess) Query(i int) (uint64, uint64)    { return f.x, f.y }
+func (f *fixedGuess) Observe(i int, tok uint64)       {}
+func (f *fixedGuess) Guess() (uint64, uint64, uint64) { return f.x, f.y, f.yp }
+
+// The distinguishing game: the XOR-test adversary — the natural
+// attack on the pad structure — achieves no significant advantage,
+// matching the G3 perfect-secrecy argument.
+func TestDistinguishGameNoAdvantage(t *testing.T) {
+	const trials = 300
+	var wins stats.Binomial
+	for i := 0; i < trials; i++ {
+		g := &DistinguishGame{Bits: 8, Seed: int64(i * 31)}
+		adv := &XorTestAdversary{Seed: int64(i)}
+		if g.Play(adv, 200) {
+			wins.Successes++
+		}
+		wins.Trials++
+	}
+	lo, hi := wins.Wilson(1.96)
+	if lo > 0.5 || hi < 0.5 {
+		t.Errorf("distinguisher advantage detected: %v", wins)
+	}
+}
+
+// A broken masking construction — a constant mask instead of one
+// derived from the modifier — must leak collision structure: the
+// harvesting adversary sees through it and wins the collision game
+// just like in the unmasked case. This demonstrates the games have
+// teeth and that the per-modifier mask is load-bearing.
+func TestCollisionGameDetectsBrokenConstantMask(t *testing.T) {
+	const (
+		bits   = 8
+		trials = 200
+	)
+	q := int(stats.BirthdayExpectedDraws(bits) * 3)
+	var wins stats.Binomial
+	for i := 0; i < trials; i++ {
+		h := NewRandomOracle(bits, int64(i))
+		adv := NewHarvestAdversary(0x40, int64(i))
+		// Challenger with the broken scheme: constant mask K.
+		k := h.Tag(0, 0)
+		for j := 0; j < q; j++ {
+			x, y := adv.Query(j)
+			adv.Observe(j, h.Tag(x, y)^k)
+		}
+		x, y, yp := adv.Guess()
+		if y != yp && h.Tag(x, y) == h.Tag(x, yp) {
+			wins.Successes++
+		}
+		wins.Trials++
+	}
+	if wins.Rate() < 0.9 {
+		t.Errorf("harvester failed against a constant mask: %v; the game has no teeth", wins)
+	}
+}
+
+func TestNewRandomOraclePanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRandomOracle(0, 1)
+}
+
+func TestReductionBoundsCollisionAdvantage(t *testing.T) {
+	// Theorem 1 via Figure 10: wrapping the harvesting collision
+	// adversary into the mask distinguisher yields no advantage —
+	// its win rate is statistically 1/2, so its collision-finding
+	// advantage against masked tokens is bounded near zero.
+	q := int(stats.BirthdayExpectedDraws(8) * 3)
+	rate := ReductionAdvantage(8, q, 300, func(seed int64) CollisionAdversary {
+		return NewHarvestAdversary(0x40, seed)
+	})
+	b := stats.Binomial{Successes: int(rate * 300), Trials: 300}
+	lo, hi := b.Wilson(1.96)
+	if lo > 0.5 || hi < 0.5 {
+		t.Errorf("reduction win rate %.3f [%.3f, %.3f]; CI must cover 1/2", rate, lo, hi)
+	}
+}
+
+// cheatAdversary receives the oracle out-of-band, modelling an
+// adversary that genuinely CAN find unmasked collisions (it ignores
+// the masked observations entirely). The reduction must convert that
+// power into distinguishing advantage — the game-hop has teeth.
+type cheatAdversary struct {
+	h   *RandomOracle
+	rng *rand.Rand
+	ys  []uint64
+}
+
+func (a *cheatAdversary) Query(i int) (uint64, uint64) {
+	y := a.rng.Uint64()
+	a.ys = append(a.ys, y)
+	return 0x40, y
+}
+func (a *cheatAdversary) Observe(i int, tok uint64) {}
+func (a *cheatAdversary) Guess() (uint64, uint64, uint64) {
+	seen := map[uint64]int{}
+	for i, y := range a.ys {
+		tok := a.h.Tag(0x40, y) // out-of-band unmasked access
+		if j, ok := seen[tok]; ok {
+			return 0x40, a.ys[j], y
+		}
+		seen[tok] = i
+	}
+	return 0x40, a.ys[0], a.ys[1]
+}
+
+func TestReductionDetectsGenuineCollisionPower(t *testing.T) {
+	q := int(stats.BirthdayExpectedDraws(8) * 3)
+	wins := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		seed := int64(i) * 977
+		h := NewRandomOracle(8, seed) // same construction as the game's
+		g := &DistinguishGame{Bits: 8, Seed: seed}
+		adv := &ReductionAdversary{
+			Seed: int64(i),
+			NewCollisionAdversary: func(s int64) CollisionAdversary {
+				return &cheatAdversary{h: h, rng: rand.New(rand.NewSource(s))}
+			},
+		}
+		if g.Play(adv, q) {
+			wins++
+		}
+	}
+	rate := float64(wins) / trials
+	if rate < 0.8 {
+		t.Errorf("reduction win rate %.3f with a genuine collision finder; expected well above 1/2", rate)
+	}
+}

@@ -1,0 +1,70 @@
+// Package oracle implements the Appendix A security games of the
+// paper: the random-oracle model of the auth-token function, the
+// collision game G_PAC-Collision (Figure 6), and the distinguishing
+// game G_PAC-Distinguish (Figure 7) whose hops (G1–G3, Figures 8–9)
+// reduce masked-token collision finding to the semantic security of a
+// one-time pad.
+//
+// The games run empirically: an Adversary implementation interacts
+// with the challenger and the package reports win rates, which the
+// tests compare against the theorem's bounds (masking pushes the
+// collision-finding advantage down to ~2^-b, Theorem 1).
+package oracle
+
+// RandomOracle is a random function (pointer, modifier) -> b-bit
+// token, deterministic per (seed, point): two oracles with the same
+// seed agree on every point regardless of query order, which the
+// reduction tests rely on. It models H_k as the analysis of Section
+// 6.2 does, and satisfies core.MAC.
+type RandomOracle struct {
+	bits int
+	mask uint64
+	seed uint64
+	m    map[[2]uint64]bool // distinct-point bookkeeping only
+}
+
+// NewRandomOracle returns a fresh oracle with the given token width.
+// The seed makes experiments reproducible; each seed is a new "key".
+func NewRandomOracle(bits int, seed int64) *RandomOracle {
+	if bits < 1 || bits > 32 {
+		panic("oracle: token width out of range")
+	}
+	return &RandomOracle{
+		bits: bits,
+		mask: 1<<uint(bits) - 1,
+		seed: uint64(seed) * 0x9E3779B97F4A7C15,
+		m:    make(map[[2]uint64]bool),
+	}
+}
+
+// Tag returns H(p, m): a strong 64-bit mix of (seed, p, m) truncated
+// to the token width.
+func (o *RandomOracle) Tag(p, m uint64) uint64 {
+	o.m[[2]uint64{p, m}] = true
+	return mix3(o.seed, p, m) & o.mask
+}
+
+// mix3 is a splitmix64-style finalizer over three words.
+func mix3(a, b, c uint64) uint64 {
+	x := a
+	for _, w := range [2]uint64{b, c} {
+		x += w + 0x9E3779B97F4A7C15
+		x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+		x = (x ^ x>>27) * 0x94D049BB133111EB
+		x ^= x >> 31
+	}
+	return x
+}
+
+// Bits returns the token width b.
+func (o *RandomOracle) Bits() int { return o.bits }
+
+// Queries returns how many distinct points have been evaluated.
+func (o *RandomOracle) Queries() int { return len(o.m) }
+
+// MaskedTag returns the Section 4.2 masked token
+// H(p, m) XOR H(0, m), i.e. what an adversary observes on the stack
+// under PACStack with masking.
+func (o *RandomOracle) MaskedTag(p, m uint64) uint64 {
+	return o.Tag(p, m) ^ o.Tag(0, m)
+}

@@ -1,0 +1,291 @@
+// Package pa models the ARMv8.3-A pointer authentication (PA)
+// extension on top of the QARMA-64 tweakable block cipher.
+//
+// A pointer authentication code (PAC) is a keyed, tweakable MAC over a
+// pointer's address, truncated into the architecturally unused
+// high-order bits of the pointer (Figure 1 of the PACStack paper). The
+// PAC width b therefore depends on the configured virtual address size
+// and on whether top-byte address tagging is enabled: with the Linux
+// default VA_SIZE = 39 and tagging enabled, b = 16.
+//
+// The package reproduces the behaviours the PACStack security analysis
+// relies on:
+//
+//   - pac* instructions insert a PAC; if the input pointer's extension
+//     bits are already corrupt, the PAC for the canonical address is
+//     computed and then one well-known PAC bit is flipped (the
+//     "re-signing gadget" behaviour of Section 6.3.1).
+//   - aut* instructions verify a PAC; on success the canonical pointer
+//     is restored, on failure the PAC is stripped and a well-known
+//     high-order error bit is flipped so that any dereference or
+//     instruction fetch raises a translation fault.
+//   - xpac strips a PAC unconditionally.
+//   - pacga computes a 32-bit generic MAC in the top half of the
+//     result.
+package pa
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+
+	"pacstack/internal/qarma"
+)
+
+// KeyID names one of the five PA keys of ARMv8.3-A.
+type KeyID int
+
+// The five architectural PA keys: two for instruction pointers, two
+// for data pointers, and one generic key.
+const (
+	KeyIA KeyID = iota
+	KeyIB
+	KeyDA
+	KeyDB
+	KeyGA
+	numKeys
+)
+
+// String returns the architectural name of the key.
+func (k KeyID) String() string {
+	switch k {
+	case KeyIA:
+		return "IA"
+	case KeyIB:
+		return "IB"
+	case KeyDA:
+		return "DA"
+	case KeyDB:
+		return "DB"
+	case KeyGA:
+		return "GA"
+	}
+	return fmt.Sprintf("KeyID(%d)", int(k))
+}
+
+// Key is one 128-bit PA key, split into the QARMA whitening and core
+// halves.
+type Key struct {
+	W0, K0 uint64
+}
+
+// Keys is a full register file of PA keys, as managed by the kernel
+// for one process (APIAKey_EL1 and friends).
+type Keys [numKeys]Key
+
+// GenerateKeys draws a fresh, uniformly random key set, as the Linux
+// kernel does for a process on exec.
+func GenerateKeys() Keys {
+	var ks Keys
+	var buf [16]byte
+	for i := range ks {
+		if _, err := rand.Read(buf[:]); err != nil {
+			panic("pa: entropy source failed: " + err.Error())
+		}
+		ks[i] = Key{
+			W0: binary.LittleEndian.Uint64(buf[:8]),
+			K0: binary.LittleEndian.Uint64(buf[8:]),
+		}
+	}
+	return ks
+}
+
+// Config fixes the pointer layout and cipher parameters.
+type Config struct {
+	// VASize is the number of virtual address bits. The 64-bit ARM
+	// Linux default is 39.
+	VASize int
+	// Tagging enables top-byte-ignore address tags, which removes
+	// bits 63:56 from the PAC field.
+	Tagging bool
+	// Rounds selects the QARMA-64 round count (0 = qarma.DefaultRounds).
+	Rounds int
+	// Sbox selects the QARMA S-box variant.
+	Sbox qarma.Sigma
+}
+
+// DefaultConfig matches the platform evaluated in the paper: Linux
+// with VA_SIZE = 39 and address tagging enabled, giving a 16-bit PAC.
+func DefaultConfig() Config {
+	return Config{VASize: 39, Tagging: true}
+}
+
+// signBit is the bit that selects the translation table (kernel vs
+// user addresses) and defines the canonical value of all extension
+// bits. It is never part of the PAC.
+const signBit = 55
+
+// On authentication failure the architecture writes an error code
+// into the top bits of the PAC field: a pointer with one of them
+// flipped is non-canonical and faults on translation. A-keys flip the
+// topmost PAC bit, B-keys the one below it, so the faulting key class
+// is visible in the corrupt pointer.
+
+// poisonBit is the PAC bit (counted from the low end of the PAC
+// field) flipped by a pac* instruction whose input pointer had corrupt
+// extension bits (Section 6.3.1, Listing 7).
+const poisonBit = 0
+
+// Authenticator implements the PA instructions for one process' key
+// set under a fixed configuration. It is safe for concurrent use.
+type Authenticator struct {
+	cfg     Config
+	ciphers [numKeys]*qarma.Cipher
+	pacMask uint64 // bits that hold the PAC
+	extMask uint64 // all non-address bits above VASize (incl. sign bit)
+	tagMask uint64 // top-byte tag bits when tagging is enabled
+}
+
+// New builds an Authenticator for the given keys and configuration.
+func New(keys Keys, cfg Config) *Authenticator {
+	if cfg.VASize < 32 || cfg.VASize > 52 {
+		panic(fmt.Sprintf("pa: unsupported VA size %d", cfg.VASize))
+	}
+	a := &Authenticator{cfg: cfg}
+	for i, k := range keys {
+		a.ciphers[i] = qarma.New(k.W0, k.K0, qarma.Config{Rounds: cfg.Rounds, Sbox: cfg.Sbox})
+	}
+	// PAC occupies bits 54 .. VASize, plus 63:56 without tagging.
+	for b := cfg.VASize; b < signBit; b++ {
+		a.pacMask |= 1 << uint(b)
+	}
+	if !cfg.Tagging {
+		a.pacMask |= 0xFF00000000000000
+	} else {
+		a.tagMask = 0xFF00000000000000
+	}
+	// Extension bits are everything above the address bits except the
+	// tag byte (which translation ignores when tagging is on).
+	for b := cfg.VASize; b < 64; b++ {
+		a.extMask |= 1 << uint(b)
+	}
+	a.extMask &^= a.tagMask
+	return a
+}
+
+// Config returns the configuration the Authenticator was built with.
+func (a *Authenticator) Config() Config { return a.cfg }
+
+// PACBits returns the PAC width b in bits.
+func (a *Authenticator) PACBits() int {
+	n := 0
+	for m := a.pacMask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// PACMask returns the bit mask of pointer bits that carry the PAC.
+func (a *Authenticator) PACMask() uint64 { return a.pacMask }
+
+// Canonical returns p with all extension bits (everything above the
+// address bits, except tag bits when tagging is enabled) set to the
+// sign-extension of bit 55. Tag bits are preserved.
+func (a *Authenticator) Canonical(p uint64) uint64 {
+	if p&(1<<signBit) != 0 {
+		return p | a.extMask
+	}
+	return p &^ a.extMask
+}
+
+// IsCanonical reports whether p's extension bits carry no PAC and no
+// corruption, i.e. whether p can be translated without a fault.
+func (a *Authenticator) IsCanonical(p uint64) bool {
+	return p == a.Canonical(p)
+}
+
+// computePAC evaluates the MAC: QARMA-64 over the canonical pointer
+// with the modifier as the tweak, then spread into the PAC field.
+// The full cipher output is folded so every PAC width uses all 64
+// output bits.
+func (a *Authenticator) computePAC(key KeyID, p, modifier uint64) uint64 {
+	ct := a.ciphers[key].Encrypt(a.Canonical(p), modifier)
+	// Fold the 64-bit ciphertext down to the PAC width, then deposit
+	// the bits into the (possibly split) PAC field.
+	b := a.PACBits()
+	folded := ct
+	for sh := 64 - b; sh > 0; sh -= b {
+		step := b
+		if sh < b {
+			step = sh
+		}
+		folded = (folded >> uint(step)) ^ (folded & (1<<uint(step) - 1))
+	}
+	return a.depositPAC(folded)
+}
+
+// depositPAC scatters the low PACBits() bits of v into the PAC field.
+func (a *Authenticator) depositPAC(v uint64) uint64 {
+	var out uint64
+	bit := uint64(1)
+	for m := a.pacMask; m != 0; m &= m - 1 {
+		low := m & -m
+		if v&bit != 0 {
+			out |= low
+		}
+		bit <<= 1
+	}
+	return out
+}
+
+// AddPAC implements the pac* instructions: it returns p with the PAC
+// for (p, modifier) under the chosen key embedded in its extension
+// bits.
+//
+// If p's extension bits are corrupt (non-canonical), the PAC is
+// computed for the canonical address and then the well-known poison
+// bit of the PAC is flipped, exactly as the architecture specifies.
+// This behaviour is what enables — and lets us reproduce — the
+// aut/pac re-signing gadget of Section 6.3.1.
+func (a *Authenticator) AddPAC(key KeyID, p, modifier uint64) uint64 {
+	pac := a.computePAC(key, p, modifier)
+	if !a.IsCanonical(p) {
+		pac ^= a.nthPACBit(poisonBit)
+	}
+	return a.Canonical(p)&^a.pacMask | pac
+}
+
+// nthPACBit returns the mask of the n-th lowest bit of the PAC field.
+func (a *Authenticator) nthPACBit(n int) uint64 {
+	m := a.pacMask
+	for ; n > 0; n-- {
+		m &= m - 1
+	}
+	return m & -m
+}
+
+// Auth implements the aut* instructions. On success it returns the
+// canonical pointer and ok = true. On failure it returns the pointer
+// with the PAC stripped and an error-code bit flipped — a
+// non-canonical value that faults when translated — and ok = false.
+//
+// Matching the architecture (and current PA behaviour in Linux 5.0),
+// Auth itself never traps; the fault happens at use.
+func (a *Authenticator) Auth(key KeyID, p, modifier uint64) (res uint64, ok bool) {
+	want := a.computePAC(key, p, modifier)
+	if p&a.pacMask == want {
+		return a.Canonical(p), true
+	}
+	bad := a.Canonical(p)
+	switch key {
+	case KeyIB, KeyDB:
+		bad ^= a.nthPACBit(a.PACBits() - 2)
+	default:
+		bad ^= a.nthPACBit(a.PACBits() - 1)
+	}
+	return bad, false
+}
+
+// StripPAC implements xpac: it removes the PAC, restoring the
+// canonical pointer without any check.
+func (a *Authenticator) StripPAC(p uint64) uint64 {
+	return a.Canonical(p)
+}
+
+// PACGA computes the generic authentication code: a 32-bit MAC over
+// (value, modifier) under the GA key, placed in the top half of the
+// result with the bottom half zero.
+func (a *Authenticator) PACGA(value, modifier uint64) uint64 {
+	ct := a.ciphers[KeyGA].Encrypt(value, modifier)
+	return (ct ^ ct<<32) & 0xFFFFFFFF00000000
+}

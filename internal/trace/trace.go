@@ -1,0 +1,218 @@
+// Package trace provides execution observation tools for the
+// simulated machine: a flat profiler attributing retired instructions
+// and cycles to functions, a dynamic call-graph recorder, and a
+// flight recorder keeping the last N instructions for post-mortem
+// analysis of faults (which is how most attack experiments end).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pacstack/internal/cpu"
+	"pacstack/internal/isa"
+)
+
+// FuncStats accumulates per-function execution counts.
+type FuncStats struct {
+	Calls  uint64 // activations observed (BL/BLR targets)
+	Instrs uint64 // instructions retired while the symbol was current
+	Cycles uint64 // cycles attributed likewise
+}
+
+// Profiler observes a machine and attributes execution to symbols.
+// Attribution is flat (self time): an instruction belongs to the
+// function whose symbol covers its PC.
+type Profiler struct {
+	m       *cpu.Machine
+	ByFunc  map[string]*FuncStats
+	Edges   map[[2]string]uint64 // dynamic call graph: caller -> callee
+	current string
+	prev    func(pc uint64, ins isa.Instr)
+}
+
+// AttachProfiler hooks a profiler onto m's trace point, chaining any
+// existing trace function.
+func AttachProfiler(m *cpu.Machine) *Profiler {
+	p := &Profiler{
+		m:      m,
+		ByFunc: make(map[string]*FuncStats),
+		Edges:  make(map[[2]string]uint64),
+		prev:   m.Trace,
+	}
+	m.Trace = p.observe
+	return p
+}
+
+// funcSymbol maps an address to its enclosing function: generated
+// internal labels carry a "fn$kind" suffix that is stripped.
+func (p *Profiler) funcSymbol(addr uint64) string {
+	sym, _ := p.m.Prog.SymbolFor(addr)
+	if sym == "" {
+		return "?"
+	}
+	if i := strings.IndexByte(sym, '$'); i >= 0 {
+		sym = sym[:i]
+	}
+	return sym
+}
+
+func (p *Profiler) observe(pc uint64, ins isa.Instr) {
+	if p.prev != nil {
+		p.prev(pc, ins)
+	}
+	sym := p.funcSymbol(pc)
+	fs := p.ByFunc[sym]
+	if fs == nil {
+		fs = &FuncStats{}
+		p.ByFunc[sym] = fs
+	}
+	fs.Instrs++
+	fs.Cycles += uint64(p.m.Cost.Cost(ins.Op))
+
+	switch ins.Op {
+	case isa.BL:
+		p.recordCall(sym, p.funcSymbol(ins.Target))
+	case isa.BLR:
+		p.recordCall(sym, p.funcSymbol(p.m.Reg(ins.Rn)))
+	}
+	p.current = sym
+}
+
+func (p *Profiler) recordCall(caller, callee string) {
+	if callee == "" {
+		callee = "?"
+	}
+	fs := p.ByFunc[callee]
+	if fs == nil {
+		fs = &FuncStats{}
+		p.ByFunc[callee] = fs
+	}
+	fs.Calls++
+	p.Edges[[2]string{caller, callee}]++
+}
+
+// TotalCycles sums attributed cycles.
+func (p *Profiler) TotalCycles() uint64 {
+	var t uint64
+	for _, fs := range p.ByFunc {
+		t += fs.Cycles
+	}
+	return t
+}
+
+// Report renders a profile sorted by cycles, with cumulative
+// percentages — the classic flat profile.
+func (p *Profiler) Report() string {
+	type row struct {
+		name string
+		fs   *FuncStats
+	}
+	rows := make([]row, 0, len(p.ByFunc))
+	for n, fs := range p.ByFunc {
+		rows = append(rows, row{n, fs})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].fs.Cycles != rows[j].fs.Cycles {
+			return rows[i].fs.Cycles > rows[j].fs.Cycles
+		}
+		return rows[i].name < rows[j].name
+	})
+	total := float64(p.TotalCycles())
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %10s %12s %12s %7s\n", "function", "calls", "instrs", "cycles", "%")
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.fs.Cycles) / total
+		}
+		fmt.Fprintf(&b, "%-24s %10d %12d %12d %6.1f%%\n",
+			r.name, r.fs.Calls, r.fs.Instrs, r.fs.Cycles, pct)
+	}
+	return b.String()
+}
+
+// CallGraph renders the dynamic call graph as sorted edges.
+func (p *Profiler) CallGraph() string {
+	type edge struct {
+		from, to string
+		n        uint64
+	}
+	edges := make([]edge, 0, len(p.Edges))
+	for k, n := range p.Edges {
+		edges = append(edges, edge{k[0], k[1], n})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].n != edges[j].n {
+			return edges[i].n > edges[j].n
+		}
+		return edges[i].from+edges[i].to < edges[j].from+edges[j].to
+	})
+	var b strings.Builder
+	for _, e := range edges {
+		fmt.Fprintf(&b, "%-24s -> %-24s %8d\n", e.from, e.to, e.n)
+	}
+	return b.String()
+}
+
+// Recorder is a flight recorder: it keeps the last N retired
+// instructions so the run-up to a fault can be inspected.
+type Recorder struct {
+	m    *cpu.Machine
+	ring []Entry
+	next int
+	full bool
+	prev func(pc uint64, ins isa.Instr)
+}
+
+// Entry is one recorded instruction.
+type Entry struct {
+	PC     uint64
+	Symbol string
+	Offset uint64
+	Instr  isa.Instr
+}
+
+// AttachRecorder hooks a flight recorder with capacity n onto m.
+func AttachRecorder(m *cpu.Machine, n int) *Recorder {
+	if n <= 0 {
+		panic("trace: recorder capacity must be positive")
+	}
+	r := &Recorder{m: m, ring: make([]Entry, n), prev: m.Trace}
+	m.Trace = r.observe
+	return r
+}
+
+func (r *Recorder) observe(pc uint64, ins isa.Instr) {
+	if r.prev != nil {
+		r.prev(pc, ins)
+	}
+	sym, off := r.m.Prog.SymbolFor(pc)
+	r.ring[r.next] = Entry{PC: pc, Symbol: sym, Offset: off, Instr: ins}
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Last returns the recorded instructions, oldest first.
+func (r *Recorder) Last() []Entry {
+	if !r.full {
+		return append([]Entry(nil), r.ring[:r.next]...)
+	}
+	out := make([]Entry, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Dump renders the recorded tail.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Last() {
+		fmt.Fprintf(&b, "%#08x <%s+%d> %s\n", e.PC, e.Symbol, e.Offset, e.Instr)
+	}
+	return b.String()
+}

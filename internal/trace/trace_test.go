@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/ir"
+	"pacstack/internal/isa"
+	"pacstack/internal/kernel"
+	"pacstack/internal/pa"
+)
+
+func traceProgram() *ir.Program {
+	return &ir.Program{Entry: "main", Functions: []*ir.Function{
+		{Name: "main", Body: []ir.Op{
+			ir.Loop{Count: 4, Body: []ir.Op{ir.Call{Target: "worker"}}},
+			ir.CallPtr{Target: "worker"},
+		}},
+		{Name: "worker", Body: []ir.Op{
+			ir.Compute{Units: 10},
+			ir.Call{Target: "leaf"},
+		}},
+		{Name: "leaf", Body: []ir.Op{ir.Compute{Units: 2}}},
+	}}
+}
+
+func bootTraced(t *testing.T) (*kernel.Process, *Profiler) {
+	t.Helper()
+	img := compile.MustCompile(traceProgram(), compile.SchemePACStack, compile.DefaultLayout())
+	proc := img.MustBoot(kernel.New(pa.DefaultConfig()))
+	p := AttachProfiler(proc.Tasks[0].M)
+	if err := proc.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return proc, p
+}
+
+func TestProfilerCounts(t *testing.T) {
+	_, p := bootTraced(t)
+	w := p.ByFunc["worker"]
+	if w == nil {
+		t.Fatal("worker not profiled")
+	}
+	if w.Calls != 5 { // 4 direct + 1 indirect
+		t.Errorf("worker calls = %d, want 5", w.Calls)
+	}
+	l := p.ByFunc["leaf"]
+	if l == nil || l.Calls != 5 {
+		t.Errorf("leaf calls = %+v, want 5", l)
+	}
+	if w.Cycles == 0 || w.Instrs == 0 {
+		t.Error("no cycles attributed to worker")
+	}
+	if p.ByFunc["main"] == nil {
+		t.Error("main not profiled")
+	}
+}
+
+func TestProfilerTotalMatchesMachine(t *testing.T) {
+	proc, p := bootTraced(t)
+	if got, want := p.TotalCycles(), proc.Tasks[0].M.Cycles; got != want {
+		t.Errorf("attributed %d cycles, machine counted %d", got, want)
+	}
+}
+
+func TestProfilerEdges(t *testing.T) {
+	_, p := bootTraced(t)
+	if p.Edges[[2]string{"main", "worker"}] != 5 {
+		t.Errorf("main->worker = %d", p.Edges[[2]string{"main", "worker"}])
+	}
+	if p.Edges[[2]string{"worker", "leaf"}] != 5 {
+		t.Errorf("worker->leaf = %d", p.Edges[[2]string{"worker", "leaf"}])
+	}
+}
+
+func TestProfilerReport(t *testing.T) {
+	_, p := bootTraced(t)
+	rep := p.Report()
+	for _, want := range []string{"function", "worker", "leaf", "main", "%"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	cg := p.CallGraph()
+	if !strings.Contains(cg, "main") || !strings.Contains(cg, "->") {
+		t.Errorf("call graph render:\n%s", cg)
+	}
+}
+
+func TestProfilerChainsExistingTrace(t *testing.T) {
+	img := compile.MustCompile(traceProgram(), compile.SchemeNone, compile.DefaultLayout())
+	proc := img.MustBoot(kernel.New(pa.DefaultConfig()))
+	m := proc.Tasks[0].M
+	count := 0
+	m.Trace = func(pc uint64, ins isa.Instr) { count++ }
+	AttachProfiler(m)
+	if err := proc.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Error("previous trace hook was dropped")
+	}
+}
+
+func TestRecorderKeepsTail(t *testing.T) {
+	img := compile.MustCompile(traceProgram(), compile.SchemeNone, compile.DefaultLayout())
+	proc := img.MustBoot(kernel.New(pa.DefaultConfig()))
+	r := AttachRecorder(proc.Tasks[0].M, 16)
+	if err := proc.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	last := r.Last()
+	if len(last) != 16 {
+		t.Fatalf("recorded %d entries", len(last))
+	}
+	// The final instruction is the exit SVC in _start.
+	tail := last[len(last)-1]
+	if tail.Instr.Op != isa.SVC {
+		t.Errorf("last recorded = %v", tail.Instr)
+	}
+	if !strings.Contains(r.Dump(), "SVC") {
+		t.Error("dump missing SVC")
+	}
+}
+
+func TestRecorderPartialFill(t *testing.T) {
+	img := compile.MustCompile(traceProgram(), compile.SchemeNone, compile.DefaultLayout())
+	proc := img.MustBoot(kernel.New(pa.DefaultConfig()))
+	r := AttachRecorder(proc.Tasks[0].M, 1_000_000)
+	if err := proc.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(r.Last())) != proc.Tasks[0].M.Instrs {
+		t.Errorf("recorded %d, retired %d", len(r.Last()), proc.Tasks[0].M.Instrs)
+	}
+}
+
+func TestRecorderBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AttachRecorder(nil, 0)
+}

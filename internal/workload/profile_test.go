@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"testing"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/kernel"
+	"pacstack/internal/pa"
+	"pacstack/internal/trace"
+)
+
+// Integration of the profiler with the synthetic workloads: the
+// generated programs must actually have the call structure their
+// calibration assumes.
+
+func profiledRun(t *testing.T, b Benchmark, s compile.Scheme) *trace.Profiler {
+	t.Helper()
+	img, err := compile.Compile(b.Program(cm()), s, compile.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := trace.AttachProfiler(proc.Tasks[0].M)
+	if err := proc.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWorkloadCallStructureMatchesDesign(t *testing.T) {
+	b := findBench(t, "505.mcf_r")
+	p := profiledRun(t, b, compile.SchemeNone)
+
+	// Every non-leaf activation performs exactly one leaf call, so
+	// leaf activations == sum of non-leaf activations.
+	var nonLeaf, leaf uint64
+	for name, fs := range p.ByFunc {
+		switch name {
+		case "leaf":
+			leaf = fs.Calls
+		case "_start", "?", "__task_exit":
+		default:
+			nonLeaf += fs.Calls
+		}
+	}
+	// main is called once by _start and performs no leaf call.
+	mainCalls := p.ByFunc["main"].Calls
+	if leaf != nonLeaf-mainCalls {
+		t.Errorf("leaf calls %d != non-leaf activations %d - main %d", leaf, nonLeaf, mainCalls)
+	}
+	// The call tree: each top activation drives mids and chains.
+	top := p.ByFunc["top"].Calls
+	if top == 0 {
+		t.Fatal("top never ran")
+	}
+	for m := 0; m < mids; m++ {
+		name := "mid0"
+		if fs := p.ByFunc[name]; fs == nil || fs.Calls != top {
+			t.Errorf("%s calls = %+v, want %d", name, fs, top)
+		}
+	}
+	if fs := p.ByFunc["chain0_0"]; fs == nil || fs.Calls != top {
+		t.Errorf("chain0_0 = %+v, want %d", fs, top)
+	}
+}
+
+func TestProfileAttributesPACStackOverheadToNonLeaves(t *testing.T) {
+	b := findBench(t, "502.gcc_r")
+	base := profiledRun(t, b, compile.SchemeNone)
+	pac := profiledRun(t, b, compile.SchemePACStack)
+
+	// The leaf function is uninstrumented: its attributed cycles must
+	// be identical under both schemes, while every non-leaf function
+	// gets strictly more expensive.
+	if base.ByFunc["leaf"].Cycles != pac.ByFunc["leaf"].Cycles {
+		t.Errorf("leaf cycles changed: %d -> %d",
+			base.ByFunc["leaf"].Cycles, pac.ByFunc["leaf"].Cycles)
+	}
+	for _, name := range []string{"top", "mid0", "chain0_0"} {
+		if pac.ByFunc[name].Cycles <= base.ByFunc[name].Cycles {
+			t.Errorf("%s: PACStack cycles %d not above baseline %d",
+				name, pac.ByFunc[name].Cycles, base.ByFunc[name].Cycles)
+		}
+	}
+}
+
+func TestNginxHandshakeDominatesProfile(t *testing.T) {
+	img, err := compile.Compile(handshakeProgram(2), compile.SchemePACStack, compile.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := trace.AttachProfiler(proc.Tasks[0].M)
+	if err := proc.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var handshake, total uint64
+	for name, fs := range p.ByFunc {
+		total += fs.Cycles
+		if len(name) > 9 && name[:9] == "handshake" {
+			handshake += fs.Cycles
+		}
+		if name == "bnleaf" {
+			handshake += fs.Cycles // leaf crypto helpers belong to the handshake
+		}
+	}
+	if float64(handshake)/float64(total) < 0.9 {
+		t.Errorf("handshake fraction %.2f; the SSL TPS test must be handshake-bound",
+			float64(handshake)/float64(total))
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/cpu"
+	"pacstack/internal/kernel"
+	"pacstack/internal/pa"
+	"pacstack/internal/stats"
+)
+
+// Result is one (benchmark, scheme) measurement.
+type Result struct {
+	Benchmark Benchmark
+	Scheme    compile.Scheme
+	Cycles    uint64
+	Instrs    uint64
+	// Overhead is relative to the same benchmark under SchemeNone.
+	Overhead float64
+}
+
+// RunBenchmark measures one benchmark under all the given schemes and
+// fills in overheads relative to the baseline (which is always run).
+func RunBenchmark(b Benchmark, schemes []compile.Scheme, cm cpu.CostModel) ([]Result, error) {
+	return RunBenchmarkCosts(b, schemes, cm, cm)
+}
+
+// RunBenchmarkCosts separates the cost model the workload is
+// *generated* against (its call grain calibration) from the one it is
+// *executed* under. Ablations that vary instruction latencies must
+// hold the program fixed — generate with the default model — or the
+// calibration silently compensates for the change.
+func RunBenchmarkCosts(b Benchmark, schemes []compile.Scheme, genCM, cm cpu.CostModel) ([]Result, error) {
+	prog := b.Program(genCM)
+
+	run := func(s compile.Scheme) (uint64, uint64, error) {
+		img, err := compile.Compile(prog, s, compile.DefaultLayout())
+		if err != nil {
+			return 0, 0, fmt.Errorf("workload: %s/%v: %w", b.Name, s, err)
+		}
+		proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, t := range proc.Tasks {
+			t.M.Cost = cm
+		}
+		if err := proc.Run(50_000_000); err != nil {
+			return 0, 0, fmt.Errorf("workload: %s/%v: %w", b.Name, s, err)
+		}
+		p := proc.Tasks[0].M
+		return p.Cycles, p.Instrs, nil
+	}
+
+	baseCycles, _, err := run(compile.SchemeNone)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Result
+	for _, s := range schemes {
+		cycles, instrs := baseCycles, uint64(0)
+		if s != compile.SchemeNone {
+			cycles, instrs, err = run(s)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, Result{
+			Benchmark: b,
+			Scheme:    s,
+			Cycles:    cycles,
+			Instrs:    instrs,
+			Overhead:  float64(cycles)/float64(baseCycles) - 1,
+		})
+	}
+	return out, nil
+}
+
+// RunSuite measures every benchmark under every scheme — the full
+// Figure 5 grid.
+func RunSuite(benchmarks []Benchmark, schemes []compile.Scheme, cm cpu.CostModel) ([]Result, error) {
+	var out []Result
+	for _, b := range benchmarks {
+		rs, err := RunBenchmark(b, schemes, cm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// Table2 aggregates results into the paper's Table 2: the geometric
+// mean overhead per scheme and suite over the C benchmarks, excluding
+// perlbench (which the paper excluded as ShadowCallStack-incompatible).
+func Table2(results []Result) map[compile.Scheme]map[Suite]float64 {
+	acc := map[compile.Scheme]map[Suite][]float64{}
+	for _, r := range results {
+		if r.Benchmark.Lang != "C" || r.Benchmark.ShadowIncompatible {
+			continue
+		}
+		if acc[r.Scheme] == nil {
+			acc[r.Scheme] = map[Suite][]float64{}
+		}
+		acc[r.Scheme][r.Benchmark.Suite] = append(acc[r.Scheme][r.Benchmark.Suite], r.Overhead)
+	}
+	out := map[compile.Scheme]map[Suite]float64{}
+	for s, bySuite := range acc {
+		out[s] = map[Suite]float64{}
+		for suite, ovs := range bySuite {
+			out[s][suite] = stats.GeoMeanOverhead(ovs)
+		}
+	}
+	return out
+}
+
+// CPPMean returns the mean overhead of the C++ benchmarks for a
+// scheme (the paper quotes 2.0% PACStack / 0.9% nomask).
+func CPPMean(results []Result, scheme compile.Scheme) float64 {
+	var ovs []float64
+	for _, r := range results {
+		if r.Benchmark.Lang == "C++" && r.Scheme == scheme {
+			ovs = append(ovs, r.Overhead)
+		}
+	}
+	return stats.Mean(ovs)
+}

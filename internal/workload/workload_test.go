@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/cpu"
+)
+
+func cm() cpu.CostModel { return cpu.DefaultCostModel() }
+
+func findBench(t *testing.T, name string) Benchmark {
+	t.Helper()
+	for _, b := range SPEC {
+		if b.Name == name {
+			return b
+		}
+	}
+	t.Fatalf("benchmark %q not defined", name)
+	return Benchmark{}
+}
+
+func TestBenchmarkProgramsValidate(t *testing.T) {
+	for _, b := range SPEC {
+		if err := b.Program(cm()).Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestGrainInverselyTracksOverhead(t *testing.T) {
+	perl := findBench(t, "500.perlbench_r")
+	lbm := findBench(t, "519.lbm_r")
+	if perl.Grain(cm()) >= lbm.Grain(cm()) {
+		t.Error("call-dense perlbench should have a smaller grain than lbm")
+	}
+}
+
+func TestCalibrationReproducesPaperPACStackOverhead(t *testing.T) {
+	// The calibration loop must close: a benchmark generated from a
+	// paper overhead, measured on the simulator, should land near
+	// that overhead.
+	for _, name := range []string{"500.perlbench_r", "505.mcf_r", "557.xz_r"} {
+		b := findBench(t, name)
+		rs, err := RunBenchmark(b, []compile.Scheme{compile.SchemePACStack}, cm())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rs[0].Overhead
+		if math.Abs(got-b.PaperPACStack) > 0.5*b.PaperPACStack {
+			t.Errorf("%s: measured %.4f, calibrated for %.4f", name, got, b.PaperPACStack)
+		}
+	}
+}
+
+func TestSchemeOrderingOnCallDenseBenchmark(t *testing.T) {
+	b := findBench(t, "600.perlbench_s")
+	rs, err := RunBenchmark(b, compile.Schemes, cm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := map[compile.Scheme]float64{}
+	for _, r := range rs {
+		ov[r.Scheme] = r.Overhead
+	}
+	// The Table 2 ordering: baseline = 0 <= cheap schemes <= nomask
+	// <= PACStack.
+	if ov[compile.SchemeNone] != 0 {
+		t.Errorf("baseline overhead %.4f", ov[compile.SchemeNone])
+	}
+	if !(ov[compile.SchemePACStack] > ov[compile.SchemePACStackNoMask]) {
+		t.Errorf("mask (%.4f) should exceed nomask (%.4f)",
+			ov[compile.SchemePACStack], ov[compile.SchemePACStackNoMask])
+	}
+	if !(ov[compile.SchemePACStackNoMask] > ov[compile.SchemeBranchProtection]) {
+		t.Errorf("nomask (%.4f) should exceed -mbranch-protection (%.4f)",
+			ov[compile.SchemePACStackNoMask], ov[compile.SchemeBranchProtection])
+	}
+	for s, o := range ov {
+		if o < 0 {
+			t.Errorf("%v: negative overhead %.4f", s, o)
+		}
+	}
+}
+
+func TestTable2Aggregation(t *testing.T) {
+	// Use a subset for speed; the full grid runs in the benchmark
+	// harness.
+	subset := []Benchmark{
+		findBench(t, "500.perlbench_r"),
+		findBench(t, "502.gcc_r"),
+		findBench(t, "505.mcf_r"),
+		findBench(t, "519.lbm_r"),
+		findBench(t, "602.gcc_s"),
+		findBench(t, "619.lbm_s"),
+	}
+	rs, err := RunSuite(subset, []compile.Scheme{
+		compile.SchemeNone, compile.SchemePACStack, compile.SchemePACStackNoMask,
+	}, cm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := Table2(rs)
+	// perlbench must be excluded (ShadowCallStack incompatibility).
+	rate := t2[compile.SchemePACStack][SPECrate]
+	if rate <= 0 || rate > 0.10 {
+		t.Errorf("PACStack SPECrate geomean %.4f out of plausible range", rate)
+	}
+	// Mask > nomask at the aggregate level too.
+	if t2[compile.SchemePACStack][SPECrate] <= t2[compile.SchemePACStackNoMask][SPECrate] {
+		t.Error("aggregate masked overhead should exceed unmasked")
+	}
+	// Aggregation excluded perlbench: recompute including it and
+	// check the geomean moved.
+	var withPerl []Result
+	for _, r := range rs {
+		r.Benchmark.ShadowIncompatible = false
+		withPerl = append(withPerl, r)
+	}
+	if Table2(withPerl)[compile.SchemePACStack][SPECrate] <= rate {
+		t.Error("including call-dense perlbench should raise the geomean")
+	}
+}
+
+func TestCPPMean(t *testing.T) {
+	cpp := []Benchmark{
+		findBench(t, "520.omnetpp_r"),
+		findBench(t, "541.leela_r"),
+	}
+	rs, err := RunSuite(cpp, []compile.Scheme{compile.SchemePACStack}, cm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := CPPMean(rs, compile.SchemePACStack)
+	if m <= 0 || m > 0.06 {
+		t.Errorf("C++ mean overhead %.4f", m)
+	}
+	// C benchmarks must not leak into the C++ mean.
+	if CPPMean(rs, compile.SchemeNone) != 0 {
+		t.Error("no results for SchemeNone, mean should be 0")
+	}
+}
+
+func TestNginxTable3Shape(t *testing.T) {
+	rows, err := Table3(cm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[[2]int]NginxResult{}
+	for _, r := range rows {
+		byKey[[2]int{r.Workers, int(r.Scheme)}] = r
+	}
+	for _, w := range []int{4, 8} {
+		base := byKey[[2]int{w, int(compile.SchemeNone)}]
+		nomask := byKey[[2]int{w, int(compile.SchemePACStackNoMask)}]
+		mask := byKey[[2]int{w, int(compile.SchemePACStack)}]
+		if !(base.RequestsPerSec > nomask.RequestsPerSec && nomask.RequestsPerSec > mask.RequestsPerSec) {
+			t.Errorf("w=%d: TPS ordering broken: %.0f, %.0f, %.0f",
+				w, base.RequestsPerSec, nomask.RequestsPerSec, mask.RequestsPerSec)
+		}
+		// The paper's band: nomask 4-7%, PACStack 6-13%. Allow the
+		// simulator a wider but still meaningful corridor.
+		if nomask.OverheadVsBase < 0.02 || nomask.OverheadVsBase > 0.10 {
+			t.Errorf("w=%d: nomask overhead %.3f outside [0.02, 0.10]", w, nomask.OverheadVsBase)
+		}
+		if mask.OverheadVsBase < 0.04 || mask.OverheadVsBase > 0.16 {
+			t.Errorf("w=%d: PACStack overhead %.3f outside [0.04, 0.16]", w, mask.OverheadVsBase)
+		}
+	}
+	// 8 workers must deliver the paper's scaling over 4.
+	r4 := byKey[[2]int{4, int(compile.SchemeNone)}].RequestsPerSec
+	r8 := byKey[[2]int{8, int(compile.SchemeNone)}].RequestsPerSec
+	if math.Abs(r8/r4-eightWorkerScaling) > 1e-9 {
+		t.Errorf("scaling %f", r8/r4)
+	}
+}
+
+func TestNginxBaselineCalibration(t *testing.T) {
+	r, err := RunNginx(compile.SchemeNone, DefaultNginxConfig(), cm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clock calibration should put the 4-worker baseline within a
+	// factor of 2 of the paper's 14.2k req/s.
+	if r.RequestsPerSec < 7_000 || r.RequestsPerSec > 30_000 {
+		t.Errorf("baseline TPS %.0f, want ~14.2k", r.RequestsPerSec)
+	}
+}
+
+func TestPACStackExtraCyclesPositive(t *testing.T) {
+	if pacstackExtraCycles(cm()) <= 0 {
+		t.Error("PACStack must cost more than the baseline frame")
+	}
+	// With free PAC instructions the extra cost shrinks.
+	free := cm()
+	free.PAC = 0
+	if pacstackExtraCycles(free) >= pacstackExtraCycles(cm()) {
+		t.Error("cheaper PAC did not reduce the extra cycles")
+	}
+}
