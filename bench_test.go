@@ -130,7 +130,7 @@ func BenchmarkFig5(b *testing.B) {
 	for _, bench := range workload.SPEC {
 		b.Run(bench.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rs, err := workload.RunBenchmark(bench, []compile.Scheme{compile.SchemePACStack}, cm)
+				rs, err := workload.RunBenchmark(bench, []compile.Scheme{compile.SchemePACStack}, cm, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -145,7 +145,7 @@ func BenchmarkFig5(b *testing.B) {
 func BenchmarkTable2(b *testing.B) {
 	cm := cpu.DefaultCostModel()
 	for i := 0; i < b.N; i++ {
-		results, err := workload.RunSuite(workload.SPEC, compile.Schemes, cm)
+		results, err := workload.RunSuite(workload.SPEC, compile.Schemes, cm, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +159,7 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkTable3(b *testing.B) {
 	cm := cpu.DefaultCostModel()
 	for i := 0; i < b.N; i++ {
-		rows, err := workload.Table3(cm)
+		rows, err := workload.Table3(cm, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,7 +201,7 @@ func BenchmarkCostModelAblation(b *testing.B) {
 			cm.PAC = pac
 			for i := 0; i < b.N; i++ {
 				rs, err := workload.RunBenchmarkCosts(bench, []compile.Scheme{compile.SchemePACStack},
-					cpu.DefaultCostModel(), cm)
+					cpu.DefaultCostModel(), cm, 1)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	pacstack-attack [-exp table1|birthday|bruteforce|reuse|signgadget|ablation|all] [-bits N] [-trials N]
+//	pacstack-attack [-exp table1|birthday|bruteforce|reuse|signgadget|ablation|all]
+//	                [-bits N] [-trials N] [-seed N]
+//
+// Every experiment is deterministic in -seed: identical invocations
+// print identical tables.
 package main
 
 import (
@@ -31,15 +35,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1, birthday, bruteforce, guess, reuse, bending, signgadget, jmpbuf, gadgets, confirm, ablation, or all")
 	bits := flag.Int("bits", 8, "token width b for Monte-Carlo experiments")
 	trials := flag.Int("trials", 2000, "Monte-Carlo trials")
+	seed := flag.Int64("seed", 1, "experiment seed (same seed, same tables)")
 	flag.Parse()
 
 	switch *exp {
 	case "table1":
-		table1(*bits, *trials)
+		table1(*bits, *trials, *seed)
 	case "birthday":
-		birthday(*bits, *trials)
+		birthday(*bits, *trials, *seed)
 	case "bruteforce":
-		bruteforce()
+		bruteforce(*seed)
 	case "reuse":
 		reuse()
 	case "bending":
@@ -47,7 +52,7 @@ func main() {
 	case "signgadget":
 		signGadget()
 	case "guess":
-		guessOnMachine(*trials)
+		guessOnMachine(*trials, *seed)
 	case "jmpbuf":
 		expiredJmpBuf()
 	case "gadgets":
@@ -55,19 +60,19 @@ func main() {
 	case "confirm":
 		confirmSuite()
 	case "ablation":
-		ablation(*bits, *trials)
+		ablation(*bits, *trials, *seed)
 	case "all":
-		table1(*bits, *trials)
-		birthday(12, 200)
-		bruteforce()
+		table1(*bits, *trials, *seed)
+		birthday(12, 200, *seed)
+		bruteforce(*seed)
 		reuse()
 		bending()
 		signGadget()
-		guessOnMachine(300)
+		guessOnMachine(300, *seed)
 		expiredJmpBuf()
 		gadgetCensus()
 		confirmSuite()
-		ablation(*bits, 500)
+		ablation(*bits, 500, *seed)
 	default:
 		log.Printf("unknown experiment %q", *exp)
 		flag.Usage()
@@ -75,22 +80,25 @@ func main() {
 	}
 }
 
-func table1(bits, trials int) {
+func table1(bits, trials int, seed int64) {
 	cfg := attack.DefaultTable1Config()
 	cfg.Bits = bits
 	cfg.Trials = trials
+	cfg.Seed = seed
 	fmt.Println(harness.Table1(attack.Table1(cfg), bits))
 }
 
-func birthday(bits, trials int) {
-	fmt.Println(harness.Birthday(attack.Birthday(bits, trials, 1)))
+func birthday(bits, trials int, seed int64) {
+	fmt.Println(harness.Birthday(attack.Birthday(bits, trials, seed)))
 }
 
-func bruteforce() {
+func bruteforce(seed int64) {
+	// Distinct derived seeds keep the three strategies' rng streams
+	// independent while remaining a function of -seed alone.
 	results := []attack.BruteForceResult{
-		attack.BruteForce(attack.RestartingVictim, 4, 200, 1),
-		attack.BruteForce(attack.ForkedSiblings, 8, 400, 2),
-		attack.BruteForce(attack.ReseededSiblings, 8, 400, 3),
+		attack.BruteForce(attack.RestartingVictim, 4, 200, seed),
+		attack.BruteForce(attack.ForkedSiblings, 8, 400, seed+1),
+		attack.BruteForce(attack.ReseededSiblings, 8, 400, seed+2),
 	}
 	fmt.Println(harness.BruteForce(results))
 }
@@ -115,8 +123,8 @@ func signGadget() {
 	fmt.Println()
 }
 
-func ablation(bits, trials int) {
-	res := attack.MaskedCollisionAblation(bits, 96, trials, 7)
+func ablation(bits, trials int, seed int64) {
+	res := attack.MaskedCollisionAblation(bits, 96, trials, seed+6)
 	fmt.Println(harness.Ablation(res, bits, 96))
 }
 
@@ -154,8 +162,8 @@ func cpuDefault() cpu.CostModel { return cpu.DefaultCostModel() }
 
 // guessOnMachine runs the end-to-end PAC guessing experiment at the
 // hardware token width.
-func guessOnMachine(trials int) {
-	res, err := attack.GuessOnMachine(trials, 1)
+func guessOnMachine(trials int, seed int64) {
+	res, err := attack.GuessOnMachine(trials, seed)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	pacstack-bench [-exp fig5|table2|table3|paccost|all]
+//	pacstack-bench [-exp fig5|table2|table3|paccost|all] [-seed N]
+//
+// Every measurement is deterministic in -seed: identical invocations
+// print identical tables.
 package main
 
 import (
@@ -24,22 +27,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pacstack-bench: ")
 	exp := flag.String("exp", "all", "experiment: fig5, table2, table3, paccost, or all")
+	seed := flag.Int64("seed", 1, "kernel entropy seed (same seed, same tables)")
 	flag.Parse()
 
 	cm := cpu.DefaultCostModel()
 	switch *exp {
 	case "fig5":
-		fig5AndTable2(cm, true, false)
+		fig5AndTable2(cm, true, false, *seed)
 	case "table2":
-		fig5AndTable2(cm, false, true)
+		fig5AndTable2(cm, false, true, *seed)
 	case "table3":
-		table3(cm)
+		table3(cm, *seed)
 	case "paccost":
-		pacCostAblation()
+		pacCostAblation(*seed)
 	case "all":
-		fig5AndTable2(cm, true, true)
-		table3(cm)
-		pacCostAblation()
+		fig5AndTable2(cm, true, true, *seed)
+		table3(cm, *seed)
+		pacCostAblation(*seed)
 	default:
 		log.Printf("unknown experiment %q", *exp)
 		flag.Usage()
@@ -47,8 +51,8 @@ func main() {
 	}
 }
 
-func fig5AndTable2(cm cpu.CostModel, wantFig5, wantTable2 bool) {
-	results, err := workload.RunSuite(workload.SPEC, compile.Schemes, cm)
+func fig5AndTable2(cm cpu.CostModel, wantFig5, wantTable2 bool, seed int64) {
+	results, err := workload.RunSuite(workload.SPEC, compile.Schemes, cm, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,8 +67,8 @@ func fig5AndTable2(cm cpu.CostModel, wantFig5, wantTable2 bool) {
 	}
 }
 
-func table3(cm cpu.CostModel) {
-	rows, err := workload.Table3(cm)
+func table3(cm cpu.CostModel, seed int64) {
+	rows, err := workload.Table3(cm, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +78,7 @@ func table3(cm cpu.CostModel) {
 // pacCostAblation varies the modelled PAC instruction latency (the
 // paper uses the 4-cycle QARMA estimate) and reports how the PACStack
 // SPECrate geometric mean responds.
-func pacCostAblation() {
+func pacCostAblation(seed int64) {
 	fmt.Println("Ablation: PACStack SPECrate geomean vs. modelled PAC latency")
 	subset := workload.SPEC[:8] // the C SPECrate benchmarks
 	for _, pacCycles := range []int{0, 2, 4, 8} {
@@ -84,7 +88,7 @@ func pacCostAblation() {
 		for _, b := range subset {
 			rs, err := workload.RunBenchmarkCosts(b, []compile.Scheme{
 				compile.SchemeNone, compile.SchemePACStack,
-			}, cpu.DefaultCostModel(), cm)
+			}, cpu.DefaultCostModel(), cm, seed)
 			if err != nil {
 				log.Fatal(err)
 			}

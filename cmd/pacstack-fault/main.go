@@ -1,0 +1,116 @@
+// Command pacstack-fault runs the robustness evaluation: seeded
+// fault-injection campaigns against every protection scheme (the
+// detection-coverage table), and the Section 4.3 brute-force guessing
+// game against a supervised, restarting victim.
+//
+// Usage:
+//
+//	pacstack-fault [-exp coverage|supervise|all] [-kind KIND] [-scheme NAME]
+//	               [-trials N] [-seed N] [-budget N] [-restarts N]
+//
+// Every experiment is deterministic in -seed: identical invocations
+// print identical tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pacstack/internal/attack"
+	"pacstack/internal/compile"
+	"pacstack/internal/fault"
+	"pacstack/internal/harness"
+	"pacstack/internal/supervise"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pacstack-fault: ")
+	exp := flag.String("exp", "all", "experiment: coverage, supervise, or all")
+	kindName := flag.String("kind", "all", "campaign kind: bitflip, retaddr, smash, register, sigframe, or all")
+	schemeName := flag.String("scheme", "all", "scheme: baseline, canary, branchprot, shadowstack, pacstack-nomask, pacstack, staticcfi, or all")
+	trials := flag.Int("trials", 200, "fault-injection trials per (scheme, kind)")
+	seed := flag.Int64("seed", 1, "campaign seed (same seed, same table)")
+	budget := flag.Uint64("budget", 0, "per-run instruction watchdog (0: derived from the golden run)")
+	restarts := flag.Int("restarts", 64, "supervised victim incarnation budget")
+	flag.Parse()
+
+	switch *exp {
+	case "coverage":
+		coverage(*kindName, *schemeName, *trials, *seed, *budget)
+	case "supervise":
+		supervised(*restarts, *seed)
+	case "all":
+		coverage(*kindName, *schemeName, *trials, *seed, *budget)
+		supervised(*restarts, *seed)
+	default:
+		log.Printf("unknown experiment %q", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+var kinds = map[string]fault.Kind{
+	"bitflip":  fault.KindBitFlip,
+	"retaddr":  fault.KindRetAddr,
+	"smash":    fault.KindStackSmash,
+	"register": fault.KindRegister,
+	"sigframe": fault.KindSigFrame,
+}
+
+var schemes = map[string]compile.Scheme{
+	"baseline":        compile.SchemeNone,
+	"canary":          compile.SchemeCanary,
+	"branchprot":      compile.SchemeBranchProtection,
+	"shadowstack":     compile.SchemeShadowStack,
+	"pacstack-nomask": compile.SchemePACStackNoMask,
+	"pacstack":        compile.SchemePACStack,
+	"staticcfi":       compile.SchemeStaticCFI,
+}
+
+func coverage(kindName, schemeName string, trials int, seed int64, budget uint64) {
+	kindList := []fault.Kind{fault.KindBitFlip, fault.KindRetAddr, fault.KindStackSmash,
+		fault.KindRegister, fault.KindSigFrame}
+	if kindName != "all" {
+		k, ok := kinds[kindName]
+		if !ok {
+			log.Fatalf("unknown kind %q", kindName)
+		}
+		kindList = []fault.Kind{k}
+	}
+	schemeList := compile.Schemes
+	if schemeName != "all" {
+		s, ok := schemes[schemeName]
+		if !ok {
+			log.Fatalf("unknown scheme %q", schemeName)
+		}
+		schemeList = []compile.Scheme{s}
+	}
+
+	engine := fault.NewEngine(fault.DefaultProgram())
+	var reports []fault.Report
+	for _, k := range kindList {
+		rs, err := engine.RunAll(schemeList, fault.Campaign{
+			Kind: k, Trials: trials, Seed: seed, Budget: budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, rs...)
+	}
+	fmt.Println(harness.DetectionCoverage(reports))
+}
+
+func supervised(restarts int, seed int64) {
+	var results []attack.SupervisedResult
+	for _, r := range []supervise.Respawn{supervise.RespawnFork, supervise.RespawnExec} {
+		res, err := attack.SupervisedBruteForce(r, restarts, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	fmt.Println(harness.Supervision(results))
+}

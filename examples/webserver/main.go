@@ -27,7 +27,7 @@ func main() {
 	for _, s := range []compile.Scheme{
 		compile.SchemeNone, compile.SchemePACStackNoMask, compile.SchemePACStack,
 	} {
-		r, err := workload.RunNginx(s, cfg, cm)
+		r, err := workload.RunNginx(s, cfg, cm, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -36,7 +36,7 @@ func main() {
 	}
 	fmt.Println()
 
-	rows, err := workload.Table3(cm)
+	rows, err := workload.Table3(cm, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,7 +7,6 @@ import (
 	"pacstack/internal/compile"
 	"pacstack/internal/ir"
 	"pacstack/internal/isa"
-	"pacstack/internal/kernel"
 	"pacstack/internal/mem"
 	"pacstack/internal/pa"
 )
@@ -61,7 +60,7 @@ func ControlFlowBending(scheme compile.Scheme) (BendingResult, error) {
 	if err != nil {
 		return BendingResult{}, err
 	}
-	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	proc, err := img.Boot(seededKernel(pa.DefaultConfig(), structuralSeed))
 	if err != nil {
 		return BendingResult{}, err
 	}

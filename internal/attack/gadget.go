@@ -6,7 +6,6 @@ import (
 	"pacstack/internal/compile"
 	"pacstack/internal/ir"
 	"pacstack/internal/isa"
-	"pacstack/internal/kernel"
 	"pacstack/internal/mem"
 	"pacstack/internal/pa"
 )
@@ -67,7 +66,7 @@ func TailCallGadget(scheme compile.Scheme) (GadgetResult, error) {
 	if err != nil {
 		return GadgetResult{}, err
 	}
-	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	proc, err := img.Boot(seededKernel(pa.DefaultConfig(), structuralSeed))
 	if err != nil {
 		return GadgetResult{}, err
 	}

@@ -6,7 +6,6 @@ import (
 	"pacstack/internal/compile"
 	"pacstack/internal/ir"
 	"pacstack/internal/isa"
-	"pacstack/internal/kernel"
 	"pacstack/internal/mem"
 	"pacstack/internal/pa"
 	"pacstack/internal/stats"
@@ -46,7 +45,10 @@ func GuessOnMachine(trials int, seed int64) (GuessResult, error) {
 		if err != nil {
 			return res, err
 		}
-		proc, err := img.Boot(kernel.New(pa.DefaultConfig())) // fresh keys per run
+		// Fresh keys per run, drawn deterministically from the
+		// experiment rng: restarted victims still re-key, but the whole
+		// experiment replays from its seed.
+		proc, err := img.Boot(seededKernel(pa.DefaultConfig(), rng.Int63()))
 		if err != nil {
 			return res, err
 		}

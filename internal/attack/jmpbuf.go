@@ -4,7 +4,6 @@ import (
 	"pacstack/internal/compile"
 	"pacstack/internal/core"
 	"pacstack/internal/ir"
-	"pacstack/internal/kernel"
 	"pacstack/internal/pa"
 )
 
@@ -61,7 +60,7 @@ func ExpiredJmpBuf() (ExpiredJmpBufResult, error) {
 	if err != nil {
 		return ExpiredJmpBufResult{}, err
 	}
-	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	proc, err := img.Boot(seededKernel(pa.DefaultConfig(), structuralSeed))
 	if err != nil {
 		return ExpiredJmpBufResult{}, err
 	}

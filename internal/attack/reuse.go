@@ -7,7 +7,6 @@ import (
 	"pacstack/internal/compile"
 	"pacstack/internal/ir"
 	"pacstack/internal/isa"
-	"pacstack/internal/kernel"
 	"pacstack/internal/mem"
 	"pacstack/internal/pa"
 )
@@ -80,7 +79,7 @@ func ReuseSPModifier(scheme compile.Scheme) (ReuseResult, error) {
 	if err != nil {
 		return ReuseResult{}, err
 	}
-	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	proc, err := img.Boot(seededKernel(pa.DefaultConfig(), structuralSeed))
 	if err != nil {
 		return ReuseResult{}, err
 	}

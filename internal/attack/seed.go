@@ -1,0 +1,23 @@
+package attack
+
+import (
+	"pacstack/internal/kernel"
+	"pacstack/internal/pa"
+)
+
+// structuralSeed pins the kernel entropy stream (PA keys, canaries)
+// for the structural probes in this package — reuse, bending, the
+// signing gadget, the expired jmp_buf. Their verdicts are properties
+// of the instrumentation schemes and must hold under any keys; the
+// fixed seed only makes a failing run reproducible bit for bit.
+const structuralSeed int64 = 0x5eed
+
+// seededKernel returns a kernel whose entropy stream is fixed by
+// seed. Every experiment entry point in this package boots its victim
+// through an explicitly seeded kernel; none relies on the kernel's
+// unseeded default stream.
+func seededKernel(cfg pa.Config, seed int64) *kernel.Kernel {
+	k := kernel.New(cfg)
+	k.Seed(seed)
+	return k
+}

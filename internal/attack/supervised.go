@@ -1,0 +1,153 @@
+package attack
+
+import (
+	"errors"
+	"math/bits"
+	"math/rand"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/cpu"
+	"pacstack/internal/ir"
+	"pacstack/internal/isa"
+	"pacstack/internal/kernel"
+	"pacstack/internal/mem"
+	"pacstack/internal/pa"
+	"pacstack/internal/supervise"
+)
+
+// SmallPACConfig is the weakest PA configuration the architecture
+// admits — VASize 52 with tagging leaves a 3-bit PAC — chosen so the
+// Section 4.3 guessing arithmetic is observable in tens of restarts
+// instead of 2^32 of them.
+func SmallPACConfig() pa.Config { return pa.Config{VASize: 52, Tagging: true} }
+
+// SupervisedResult reports one supervised brute-force episode.
+type SupervisedResult struct {
+	Respawn  supervise.Respawn
+	PACBits  int
+	Attempts int  // victim incarnations used (including the last)
+	Hijacked bool // the gadget ran (exit code 66)
+	Crashes  int  // attempts ended by a kill
+	// AuthKills counts crashes whose post-mortem is a PAC
+	// authentication fault (poisoned pointer at a return).
+	AuthKills int
+	// Stage1Passes counts incarnations whose kill PC moved from f's
+	// return to main's — the crash oracle telling the attacker the
+	// forged word survived the first authentication and died at the
+	// second. Only a restarting victim with structured post-mortems
+	// leaks this.
+	Stage1Passes int
+	// Enumerated reports that the attacker exhausted all 2^b PAC
+	// field values with reproducible outcomes (fork respawn only):
+	// after Attempts <= 2^b incarnations it knows everything this
+	// corruption site can yield under the victim's keys.
+	Enumerated bool
+	Downtime   uint64 // simulated cycles lost to restart backoff
+	// SampleKill is one representative post-mortem, as logged.
+	SampleKill string
+}
+
+// SupervisedBruteForce mounts the Section 4.3 guessing game against a
+// *realistic restarting victim*: a PACStack-protected service under a
+// crash-recovery supervisor. Each incarnation, the attacker overwrites
+// the spilled chain value in f's frame with gadget|g for a PAC-field
+// guess g. The forged word is consumed twice — first as the modifier
+// authenticating f's own return, then (if that collides) as main's
+// return value — so a blind guess hijacks with probability ~2^-2b,
+// the masked-PACStack bound from Section 4.3.
+//
+// The respawn policy decides what crashing costs the attacker. Under
+// fork respawn all incarnations share the template's keys and replay
+// the same chain, so every guess has a reproducible outcome and the
+// KillInfo post-mortem (did the kill PC stay at f's return, or move
+// into main?) classifies it; enumerating all 2^b field values settles
+// the site completely in at most 2^b incarnations. Under exec respawn
+// keys are fresh every time: outcomes are independent coin flips,
+// nothing learned survives the crash, and the expected cost stays
+// ~2^2b incarnations. maxAttempts bounds the exec-side budget; seed
+// fixes keys and guesses.
+func SupervisedBruteForce(respawn supervise.Respawn, maxAttempts int, seed int64) (SupervisedResult, error) {
+	prog := &ir.Program{Entry: "main", Functions: []*ir.Function{
+		{Name: "main", Body: []ir.Op{ir.Call{Target: "f"}, ir.Write{Byte: 'k'}}},
+		{Name: "f", Body: []ir.Op{ir.Call{Target: "leaf"}}},
+		{Name: "gadget", Body: []ir.Op{ir.Write{Byte: 'G'}, ir.Exit{Code: 66}}},
+		{Name: "leaf", Body: []ir.Op{ir.Compute{Units: 1}}},
+	}}
+	img, err := compile.Compile(prog, compile.SchemePACStack, compile.DefaultLayout())
+	if err != nil {
+		return SupervisedResult{}, err
+	}
+
+	k := kernel.New(SmallPACConfig())
+	k.Seed(seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	span := 1 // patched below once PACBits is known; attempts are capped anyway
+	budget := maxAttempts
+	res := SupervisedResult{Respawn: respawn}
+
+	sup := supervise.New(img, k, supervise.Policy{
+		Respawn:     respawn,
+		MaxRestarts: budget - 1,
+		BackoffBase: 1 << 10,
+		BackoffCap:  1 << 16,
+		Budget:      1 << 16,
+	})
+
+	hook := firstBL(img, "f")
+	final, runErr := sup.Run(func(attempt int, p *kernel.Process) {
+		if res.PACBits == 0 {
+			res.PACBits = p.Auth.PACBits()
+			span = 1 << uint(res.PACBits)
+			if respawn == supervise.RespawnFork && span < budget {
+				// Shared keys: outcomes are reproducible, so 2^b
+				// incarnations exhaust the site. Shrink the restart
+				// budget to the enumeration.
+				sup.Policy.MaxRestarts = span - 1
+			}
+		}
+		pacMask := p.Auth.PACMask()
+		shift := uint(bits.TrailingZeros64(pacMask))
+		var g uint64
+		if respawn == supervise.RespawnFork {
+			g = uint64(attempt) // systematic sweep of the PAC field
+		} else {
+			g = uint64(rng.Int63n(int64(span))) // blind: crashes reset the game
+		}
+		adv := mem.NewAdversary(p.Mem)
+		m := p.Tasks[0].M
+		fired := false
+		m.Trace = func(pc uint64, ins isa.Instr) {
+			if pc == hook && !fired {
+				fired = true
+				forged := img.FuncEntries["gadget"] | (g << shift & pacMask)
+				_ = adv.Poke(m.Reg(isa.SP), forged)
+			}
+		}
+	})
+	if runErr != nil && !errors.Is(runErr, supervise.ErrRestartsExhausted) {
+		return res, runErr
+	}
+
+	res.Attempts = len(sup.Attempts)
+	res.Crashes = sup.Crashes()
+	res.Downtime = sup.Downtime
+	res.Hijacked = runErr == nil && final.ExitCode == 66
+	res.Enumerated = respawn == supervise.RespawnFork && res.Attempts >= 1<<uint(res.PACBits)
+	for _, a := range sup.Attempts {
+		if a.Kill == nil {
+			continue
+		}
+		if res.SampleKill == "" {
+			res.SampleKill = a.Kill.String()
+		}
+		var tf *cpu.TranslationFault
+		if errors.As(a.Kill.Cause, &tf) {
+			res.AuthKills++
+		}
+		if a.Kill.Symbol == "main" {
+			res.Stage1Passes++
+		}
+	}
+	return res, nil
+}

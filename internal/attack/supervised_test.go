@@ -1,0 +1,71 @@
+package attack
+
+import (
+	"reflect"
+	"testing"
+
+	"pacstack/internal/supervise"
+)
+
+func TestSupervisedBruteForceForkEnumerates(t *testing.T) {
+	res, err := SupervisedBruteForce(supervise.RespawnFork, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PACBits != 3 {
+		t.Fatalf("PACBits = %d, want 3 under SmallPACConfig", res.PACBits)
+	}
+	span := 1 << uint(res.PACBits)
+	// Shared keys make outcomes reproducible: sweeping the PAC field
+	// settles the corruption site in at most 2^b incarnations.
+	if res.Attempts > span {
+		t.Errorf("fork sweep took %d incarnations, want <= 2^b = %d", res.Attempts, span)
+	}
+	if !res.Hijacked && !res.Enumerated {
+		t.Error("fork sweep neither hijacked nor exhausted the PAC field")
+	}
+	if res.Crashes == 0 || res.AuthKills == 0 {
+		t.Errorf("crashes=%d authkills=%d; wrong guesses must die on authentication",
+			res.Crashes, res.AuthKills)
+	}
+	if res.SampleKill == "" {
+		t.Error("no sample post-mortem captured")
+	}
+}
+
+func TestSupervisedBruteForceExecIsBlind(t *testing.T) {
+	res, err := SupervisedBruteForce(supervise.RespawnExec, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Enumerated {
+		t.Error("exec respawn cannot enumerate: keys are fresh every incarnation")
+	}
+	if res.Attempts > 32 {
+		t.Errorf("attempts = %d exceeds the restart budget", res.Attempts)
+	}
+	// At b=3 a blind guess survives both authentications w.p. 2^-6;
+	// 32 attempts overwhelmingly end in crashes.
+	if res.Crashes < res.Attempts/2 {
+		t.Errorf("only %d/%d exec attempts crashed", res.Crashes, res.Attempts)
+	}
+	if res.Downtime == 0 {
+		t.Error("restarts accrued no backoff downtime")
+	}
+}
+
+func TestSupervisedBruteForceDeterministic(t *testing.T) {
+	for _, respawn := range []supervise.Respawn{supervise.RespawnFork, supervise.RespawnExec} {
+		a, err := SupervisedBruteForce(respawn, 24, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SupervisedBruteForce(respawn, 24, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: same seed, different episodes:\n  %+v\nvs\n  %+v", respawn, a, b)
+		}
+	}
+}

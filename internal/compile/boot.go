@@ -1,10 +1,9 @@
 package compile
 
 import (
-	"crypto/rand"
-	"encoding/binary"
 	"fmt"
 
+	"pacstack/internal/cpu"
 	"pacstack/internal/isa"
 	"pacstack/internal/kernel"
 	"pacstack/internal/mem"
@@ -52,11 +51,9 @@ func (img *Image) Boot(k *kernel.Kernel) (*kernel.Process, error) {
 	// Seed the canary. The reference value lives in a global the
 	// program can read — but the adversary can too, which is exactly
 	// the weakness of canaries under the paper's R2 (full disclosure).
-	var buf [8]byte
-	if _, err := rand.Read(buf[:]); err != nil {
-		return nil, fmt.Errorf("compile: canary entropy: %w", err)
-	}
-	if err := m.Write64(l.CanaryAddr(), binary.LittleEndian.Uint64(buf[:])); err != nil {
+	// The entropy comes from the kernel so that a seeded kernel
+	// (kernel.Kernel.Seed) boots byte-identical processes.
+	if err := m.Write64(l.CanaryAddr(), k.Entropy64()); err != nil {
 		return nil, err
 	}
 
@@ -66,7 +63,8 @@ func (img *Image) Boot(k *kernel.Kernel) (*kernel.Process, error) {
 	}
 	p.CallCFI = func(target uint64) error {
 		if !allowed[target] {
-			return fmt.Errorf("compile: CFI violation: indirect call to %#x is not a function entry", target)
+			return &cpu.CFIViolation{Edge: "call", Target: target,
+				Detail: "indirect call target is not a function entry"}
 		}
 		return nil
 	}

@@ -62,7 +62,8 @@ func Compile(p *ir.Program, scheme Scheme, layout Layout) (*Image, error) {
 		img.FuncEntries[f.Name] = prog.MustLookup(f.Name)
 	}
 	for _, rt := range []string{"_start", "__task_exit", "__acs_validate", "__stack_chk_fail",
-		"__setjmp", "__longjmp", "__setjmp_wrapper", "__longjmp_wrapper", "__thread_seed"} {
+		"__setjmp", "__longjmp", "__setjmp_wrapper", "__longjmp_wrapper", "__thread_seed",
+		"__sigreturn", "__sig_handler"} {
 		img.FuncEntries[rt] = prog.MustLookup(rt)
 	}
 	return img, nil

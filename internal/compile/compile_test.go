@@ -1,9 +1,11 @@
 package compile
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"pacstack/internal/cpu"
 	"pacstack/internal/ir"
 	"pacstack/internal/isa"
 	"pacstack/internal/kernel"
@@ -436,8 +438,9 @@ func TestCFIBlocksIndirectCallToNonEntry(t *testing.T) {
 		}
 	}
 	err := proc.Run(100_000)
-	if err == nil || !strings.Contains(err.Error(), "CFI violation") {
-		t.Errorf("err = %v, want CFI violation", err)
+	var viol *cpu.CFIViolation
+	if !errors.As(err, &viol) || viol.Edge != "call" {
+		t.Errorf("err = %v, want call-edge CFI violation", err)
 	}
 }
 

@@ -56,6 +56,7 @@ func (c *compiler) emitRuntime() {
 	c.emitSetjmpWrapper()
 	c.emitLongjmpWrapper()
 	c.emitThreadSeed()
+	c.emitSignalRuntime()
 }
 
 // __acs_validate is the Section 9.1 libunwind-style validator: it
@@ -220,6 +221,24 @@ func (c *compiler) emitLongjmpWrapper() {
 	c.i(isa.CBNZ, func(i *isa.Instr) { i.Rn = isa.X0; i.Label = "__longjmp_wrapper$go" })
 	c.i(isa.MOVZ, func(i *isa.Instr) { i.Rd = isa.X0; i.Imm = 1 })
 	c.b.Label("__longjmp_wrapper$go")
+	c.i(isa.RET, func(i *isa.Instr) { i.Rn = isa.LR })
+}
+
+// emitSignalRuntime emits the signal-handling runtime every image
+// carries, the libc rt_sigreturn analogue:
+//
+//   - __sigreturn is the trampoline the kernel points LR at when it
+//     delivers a signal (kernel.Process.DeliverSignal); returning from
+//     the handler lands here and issues the sigreturn system call,
+//     which restores the interrupted context from the frame at SP.
+//   - __sig_handler is a minimal do-nothing handler (a leaf: it
+//     neither spills LR nor touches CR) that programs without their
+//     own handler can field signals with; the fault-injection engine
+//     uses it for its signal-frame tampering campaigns.
+func (c *compiler) emitSignalRuntime() {
+	c.b.Label("__sigreturn")
+	c.i(isa.SVC, func(i *isa.Instr) { i.Imm = 4 })
+	c.b.Label("__sig_handler")
 	c.i(isa.RET, func(i *isa.Instr) { i.Rn = isa.LR })
 }
 

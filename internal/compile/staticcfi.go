@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pacstack/internal/cpu"
 	"pacstack/internal/isa"
 )
 
@@ -109,7 +110,8 @@ func (img *Image) installStaticCFI(setRetCFI func(func(retPC, target uint64) err
 			return nil
 		}
 		if !sites[fn][target] {
-			return fmt.Errorf("compile: static CFI violation: return from %s to %#x is not a valid return site", fn, target)
+			return &cpu.CFIViolation{Edge: "return", PC: retPC, Target: target,
+				Detail: fmt.Sprintf("return from %s does not reach a valid return site", fn)}
 		}
 		return nil
 	})

@@ -35,13 +35,25 @@ type Test struct {
 	Run func(scheme compile.Scheme) (Outcome, error)
 }
 
+// confirmSeed pins the kernel entropy stream for every confirmation
+// run. The suite asserts scheme transparency, which must hold under
+// any keys; the explicit seed makes a failing run reproducible.
+const confirmSeed int64 = 0x5eed
+
+// newKernel returns the suite's deterministically seeded kernel.
+func newKernel() *kernel.Kernel {
+	k := kernel.New(pa.DefaultConfig())
+	k.Seed(confirmSeed)
+	return k
+}
+
 // runProgram is the default driver.
 func runProgram(p *ir.Program, scheme compile.Scheme) (Outcome, error) {
 	img, err := compile.Compile(p, scheme, compile.DefaultLayout())
 	if err != nil {
 		return Outcome{}, err
 	}
-	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	proc, err := img.Boot(newKernel())
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -263,7 +275,7 @@ func runThreadTest(scheme compile.Scheme) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	proc, err := img.Boot(newKernel())
 	if err != nil {
 		return Outcome{}, err
 	}

@@ -45,6 +45,33 @@ func (f *Fault) Error() string {
 // Unwrap exposes the underlying cause (e.g. *mem.Fault).
 func (f *Fault) Unwrap() error { return f.Err }
 
+// TranslationFault is raised when a branch targets a non-canonical
+// pointer. This is how failed PAC authentications surface: aut* never
+// traps, it poisons the pointer, and the poisoned value faults here on
+// its first use as a branch target.
+type TranslationFault struct {
+	Target uint64
+}
+
+func (f *TranslationFault) Error() string {
+	return fmt.Sprintf("translation fault: non-canonical branch target %#x", f.Target)
+}
+
+// CFIViolation is returned by the CallCFI / RetCFI hooks when a branch
+// breaks the installed control-flow policy. Edge is "call" for the
+// forward-edge (assumption A2) check and "return" for the static-CFI
+// comparator.
+type CFIViolation struct {
+	Edge   string
+	PC     uint64 // the branching instruction (0 when unknown)
+	Target uint64
+	Detail string
+}
+
+func (v *CFIViolation) Error() string {
+	return fmt.Sprintf("cfi: %s-edge violation: branch to %#x: %s", v.Edge, v.Target, v.Detail)
+}
+
 // ErrStepLimit is returned by Run when the step budget is exhausted
 // before the program halts.
 var ErrStepLimit = errors.New("cpu: step limit exceeded")
@@ -90,6 +117,14 @@ type Machine struct {
 
 	// Trace, when non-nil, observes every retired instruction.
 	Trace func(pc uint64, ins isa.Instr)
+
+	// PreStep, when non-nil, runs at the start of every Step, before
+	// the instruction at PC is fetched, with the machine in a
+	// consistent between-instructions state. It may mutate registers
+	// and memory — this is the hook the fault-injection engine
+	// (internal/fault) fires corruptions through, keyed on Instrs. A
+	// returned error faults the machine.
+	PreStep func(m *Machine) error
 }
 
 // New returns a machine executing prog against memory m with PA
@@ -136,7 +171,7 @@ func (m *Machine) fault(err error) error {
 // translation fault the architecture would.
 func (m *Machine) checkTarget(t uint64) error {
 	if m.Auth != nil && !m.Auth.IsCanonical(t) {
-		return fmt.Errorf("translation fault: non-canonical branch target %#x", t)
+		return &TranslationFault{Target: t}
 	}
 	return m.Mem.CheckFetch(t)
 }
@@ -145,6 +180,11 @@ func (m *Machine) checkTarget(t uint64) error {
 func (m *Machine) Step() error {
 	if m.Halted {
 		return m.fault(errors.New("machine is halted"))
+	}
+	if m.PreStep != nil {
+		if err := m.PreStep(m); err != nil {
+			return m.fault(err)
+		}
 	}
 	if err := m.Mem.CheckFetch(m.PC); err != nil {
 		return m.fault(err)

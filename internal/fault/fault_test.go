@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"pacstack/internal/compile"
+)
+
+// TestCampaignDeterministic is the reproducibility contract: two
+// fresh engines running the same campaign produce byte-identical
+// reports — classification counts, per-cause breakdowns, and the
+// sampled post-mortems.
+func TestCampaignDeterministic(t *testing.T) {
+	schemes := []compile.Scheme{
+		compile.SchemeNone, compile.SchemeShadowStack, compile.SchemePACStack,
+	}
+	for _, kind := range []Kind{KindBitFlip, KindRetAddr, KindSigFrame} {
+		c := Campaign{Kind: kind, Trials: 30, Seed: 7}
+		run := func() []Report {
+			rs, err := NewEngine(DefaultProgram()).RunAll(schemes, c)
+			if err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+			return rs
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: same seed, different reports:\n  %+v\nvs\n  %+v", kind, a, b)
+		}
+	}
+}
+
+func TestCampaignSeedMatters(t *testing.T) {
+	e := NewEngine(DefaultProgram())
+	one := []compile.Scheme{compile.SchemeNone}
+	a, err := e.RunAll(one, Campaign{Kind: KindBitFlip, Trials: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.RunAll(one, Campaign{Kind: KindBitFlip, Trials: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Error("different seeds produced identical campaigns")
+	}
+}
+
+// TestRetAddrCoverageOrdering is the headline acceptance criterion:
+// on the return-address-overwrite campaign, PACStack's silent rate is
+// no worse than the shadow stack's and strictly better than the
+// unprotected baseline's.
+func TestRetAddrCoverageOrdering(t *testing.T) {
+	e := NewEngine(DefaultProgram())
+	rs, err := e.RunAll([]compile.Scheme{
+		compile.SchemeNone, compile.SchemeShadowStack, compile.SchemePACStack,
+	}, Campaign{Kind: KindRetAddr, Trials: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[compile.Scheme]Report{}
+	for _, r := range rs {
+		by[r.Scheme] = r
+	}
+	base, shadow, pac := by[compile.SchemeNone], by[compile.SchemeShadowStack], by[compile.SchemePACStack]
+	if pac.Silent > shadow.Silent {
+		t.Errorf("pacstack silent %d > shadow stack silent %d", pac.Silent, shadow.Silent)
+	}
+	if pac.Silent >= base.Silent {
+		t.Errorf("pacstack silent %d >= baseline silent %d", pac.Silent, base.Silent)
+	}
+	if pac.Detected == 0 {
+		t.Error("pacstack detected no return-address overwrites")
+	}
+	if n := pac.ByCause[CauseAuth]; n == 0 {
+		t.Error("pacstack detections carry no authentication-fault cause")
+	}
+}
+
+// TestSigFrameCampaignFullFrameChain: under the full-frame Appendix B
+// chain, every tampered signal frame dies at sigreturn — nothing is
+// silent.
+func TestSigFrameCampaignFullFrameChain(t *testing.T) {
+	e := NewEngine(DefaultProgram())
+	rs, err := e.RunAll([]compile.Scheme{compile.SchemePACStack},
+		Campaign{Kind: KindSigFrame, Trials: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs[0]
+	if r.Silent != 0 {
+		t.Errorf("full-frame sigreturn chain let %d tampered frames through", r.Silent)
+	}
+	if r.ByCause[CauseSigreturn] == 0 {
+		t.Error("no sigreturn-cause detections recorded")
+	}
+}
+
+func TestReportAccounting(t *testing.T) {
+	e := NewEngine(DefaultProgram())
+	rs, err := e.RunAll(compile.Schemes, Campaign{Kind: KindStackSmash, Trials: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if got := r.Detected + r.Benign + r.Silent; got != r.Trials {
+			t.Errorf("%v: detected+benign+silent = %d, want %d trials", r.Scheme, got, r.Trials)
+		}
+		var causes int
+		for _, n := range r.ByCause {
+			causes += n
+		}
+		if causes != r.Detected {
+			t.Errorf("%v: cause breakdown sums to %d, want detected %d", r.Scheme, causes, r.Detected)
+		}
+		if r.SilentRate() < 0 || r.SilentRate() > 1 {
+			t.Errorf("%v: silent rate %f out of range", r.Scheme, r.SilentRate())
+		}
+	}
+}

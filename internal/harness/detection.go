@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"pacstack/internal/attack"
+	"pacstack/internal/fault"
+)
+
+// DetectionCoverage renders fault-injection campaign reports as a
+// table: one block per corruption kind, one row per scheme, with the
+// detected / benign / silent split and the per-cause breakdown of the
+// detections. Silent corruption — terminated, no kill, diverged
+// behaviour — is the column PACStack is supposed to drive to ~2^-b.
+func DetectionCoverage(reports []fault.Report) string {
+	var b strings.Builder
+	b.WriteString("Detection coverage: seeded fault-injection campaigns (internal/fault)\n")
+	var kind fault.Kind = -1
+	for _, r := range reports {
+		if r.Kind != kind {
+			kind = r.Kind
+			fmt.Fprintf(&b, "\n%s (%d trials per scheme)\n", kind, r.Trials)
+			fmt.Fprintf(&b, "%-26s %9s %8s %8s %8s  %s\n",
+				"scheme", "detected", "benign", "silent", "silent%", "detections by cause")
+		}
+		fmt.Fprintf(&b, "%-26s %9d %8d %8d %7.1f%%  %s\n",
+			r.Scheme, r.Detected, r.Benign, r.Silent, 100*r.SilentRate(), causeSummary(r))
+	}
+	return b.String()
+}
+
+func causeSummary(r fault.Report) string {
+	var parts []string
+	for c := 0; c < fault.NumCauses; c++ {
+		if n := r.ByCause[c]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", fault.Cause(c), n))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Supervision renders the supervised brute-force comparison: the
+// Section 4.3 restart-policy asymmetry measured against a live
+// restarting victim.
+func Supervision(results []attack.SupervisedResult) string {
+	var b strings.Builder
+	b.WriteString("Section 4.3: brute-force guessing against a supervised victim (b-bit PAC)\n")
+	fmt.Fprintf(&b, "%-22s %3s %9s %8s %8s %7s %7s %11s %10s\n",
+		"respawn policy", "b", "attempts", "crashes", "authkill", "stage1", "hijack", "enumerated", "downtime")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-22s %3d %9d %8d %8d %7d %7v %11v %10d\n",
+			r.Respawn, r.PACBits, r.Attempts, r.Crashes, r.AuthKills,
+			r.Stage1Passes, r.Hijacked, r.Enumerated, r.Downtime)
+	}
+	b.WriteString("  fork respawn: shared keys make every guess reproducible; 2^b incarnations\n")
+	b.WriteString("  exhaust the corruption site (the post-mortem log localises which auth died).\n")
+	b.WriteString("  exec respawn: fresh keys per restart; each guess is an independent 2^-2b shot.\n")
+	return b.String()
+}

@@ -7,7 +7,9 @@ import (
 	"pacstack/internal/attack"
 	"pacstack/internal/compile"
 	"pacstack/internal/confirm"
+	"pacstack/internal/fault"
 	"pacstack/internal/stats"
+	"pacstack/internal/supervise"
 	"pacstack/internal/workload"
 )
 
@@ -82,5 +84,31 @@ func TestConfirmRender(t *testing.T) {
 	out := Confirm(results)
 	if !strings.Contains(out, "tail-call") || !strings.Contains(out, "FAIL") || !strings.Contains(out, "pass") {
 		t.Errorf("confirm render:\n%s", out)
+	}
+}
+
+func TestDetectionCoverageRender(t *testing.T) {
+	reports := []fault.Report{
+		{Scheme: compile.SchemeNone, Kind: fault.KindRetAddr, Trials: 10, Detected: 2, Benign: 3, Silent: 5},
+		{Scheme: compile.SchemePACStack, Kind: fault.KindRetAddr, Trials: 10, Detected: 9, Benign: 1,
+			ByCause: func() (bc [fault.NumCauses]int) { bc[fault.CauseAuth] = 9; return }()},
+	}
+	out := DetectionCoverage(reports)
+	for _, want := range []string{"return-address overwrite", "silent", "auth:9", "50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("coverage table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSupervisionRender(t *testing.T) {
+	out := Supervision([]attack.SupervisedResult{{
+		Respawn: supervise.RespawnFork, PACBits: 3, Attempts: 8,
+		Crashes: 7, AuthKills: 7, Enumerated: true, Downtime: 1234,
+	}})
+	for _, want := range []string{"fork (shared keys)", "Section 4.3", "1234"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("supervision table missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -22,8 +22,11 @@
 package kernel
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 
 	"pacstack/internal/cpu"
 	"pacstack/internal/isa"
@@ -55,6 +58,7 @@ var ErrProcessKilled = errors.New("kernel: process killed")
 // Kernel holds global configuration shared by all processes.
 type Kernel struct {
 	cfg pa.Config
+	rng *mrand.Rand // nil: cryptographic entropy
 }
 
 // New returns a kernel configured with the given PA parameters.
@@ -62,6 +66,38 @@ func New(cfg pa.Config) *Kernel { return &Kernel{cfg: cfg} }
 
 // Config returns the kernel's PA configuration.
 func (k *Kernel) Config() pa.Config { return k.cfg }
+
+// Seed switches the kernel's entropy pool — PA key generation on
+// exec, the stack-protector canary — to a deterministic stream, so
+// that identical seeds produce byte-identical processes. Experiments
+// that must replay exactly (fault campaigns, the reproducibility
+// audit) seed their kernels; everything else keeps cryptographic
+// entropy.
+func (k *Kernel) Seed(seed int64) { k.rng = mrand.New(mrand.NewSource(seed)) }
+
+// Seeded reports whether the kernel draws deterministic entropy.
+func (k *Kernel) Seeded() bool { return k.rng != nil }
+
+// Entropy64 returns one word from the kernel entropy pool:
+// deterministic after Seed, cryptographic otherwise.
+func (k *Kernel) Entropy64() uint64 {
+	if k.rng != nil {
+		return k.rng.Uint64()
+	}
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic("kernel: entropy source failed: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// genKeys draws a PA key set from the kernel entropy pool.
+func (k *Kernel) genKeys() pa.Keys {
+	if k.rng != nil {
+		return pa.GenerateKeysFrom(k.rng)
+	}
+	return pa.GenerateKeys()
+}
 
 // Task is one schedulable thread. Its register file lives inside the
 // embedded machine — kernel memory, from the adversary's viewpoint.
@@ -73,6 +109,27 @@ type Task struct {
 	// sigRefs is the kernel-held reference chain for hardened
 	// sigreturn (Appendix B): sigRefs[len-1] is asigret_n.
 	sigRefs []uint64
+}
+
+// KillInfo is the structured post-mortem the kernel records when it
+// kills a process: which task died, at which PC, and why. Supervisors
+// (internal/supervise) and the fault classifier (internal/fault) read
+// it instead of string-matching errors; Cause retains the full error
+// chain, so errors.As still reaches *cpu.Fault, *mem.Fault,
+// *cpu.TranslationFault and *cpu.CFIViolation.
+type KillInfo struct {
+	TaskID int
+	PC     uint64
+	Symbol string // nearest symbol at PC, when known
+	Cause  error
+}
+
+func (ki *KillInfo) String() string {
+	where := fmt.Sprintf("%#x", ki.PC)
+	if ki.Symbol != "" {
+		where = fmt.Sprintf("%#x (%s)", ki.PC, ki.Symbol)
+	}
+	return fmt.Sprintf("task %d killed at %s: %v", ki.TaskID, where, ki.Cause)
 }
 
 // Process is one address space plus its tasks and kernel-side state.
@@ -90,6 +147,10 @@ type Process struct {
 
 	Exited   bool
 	ExitCode uint64
+
+	// Kill is the post-mortem of the fault that killed the process,
+	// nil after a clean exit (or while still running). Exec clears it.
+	Kill *KillInfo
 
 	// HardenedSigreturn enables the Appendix B signal-frame chain
 	// binding the saved PC and CR.
@@ -116,7 +177,7 @@ type Process struct {
 // NewProcess "execs" prog: fresh PA keys, the given address space,
 // and one initial task starting at entry with the stack top at sp.
 func (k *Kernel) NewProcess(prog *isa.Program, m *mem.Memory, entry, sp uint64) *Process {
-	keys := pa.GenerateKeys()
+	keys := k.genKeys()
 	pidCounter := 1
 	p := &Process{
 		k:       k,
@@ -201,7 +262,7 @@ func (p *Process) Children() []*Process { return p.children }
 // before the exec is worthless afterwards, which is the property the
 // paper's crash-and-restart guessing analysis (Section 4.3) rests on.
 func (p *Process) Exec(prog *isa.Program, m *mem.Memory, entry, sp uint64) {
-	p.keys = pa.GenerateKeys()
+	p.keys = p.k.genKeys()
 	p.Auth = pa.New(p.keys, p.k.cfg)
 	p.Mem = m
 	p.Prog = prog
@@ -209,6 +270,7 @@ func (p *Process) Exec(prog *isa.Program, m *mem.Memory, entry, sp uint64) {
 	p.Output = nil
 	p.Exited = false
 	p.ExitCode = 0
+	p.Kill = nil
 	p.spawn(entry, sp)
 }
 
@@ -255,6 +317,9 @@ func (p *Process) Run(maxInstrs uint64) error {
 		for q := 0; q < Quantum && !t.Done && !p.Exited; q++ {
 			if err := t.M.Step(); err != nil {
 				p.Exited = true
+				if p.Kill == nil { // sigreturn may have filed a more precise report
+					p.recordKill(t, err)
+				}
 				return err
 			}
 			executed++
@@ -264,6 +329,13 @@ func (p *Process) Run(maxInstrs uint64) error {
 		}
 	}
 	return nil
+}
+
+// recordKill files the post-mortem for the fault that killed the
+// process.
+func (p *Process) recordKill(t *Task, cause error) {
+	sym, _ := p.Prog.SymbolFor(t.M.PC)
+	p.Kill = &KillInfo{TaskID: t.ID, PC: t.M.PC, Symbol: sym, Cause: cause}
 }
 
 // Cycles returns the total cycle count across all tasks.

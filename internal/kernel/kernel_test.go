@@ -636,3 +636,120 @@ func TestBaseHardeningMissesNonCRRegisterForgery(t *testing.T) {
 		t.Error("PC+CR hardening unexpectedly caught an X5 forgery")
 	}
 }
+
+func TestKillInfoRecordsFaultPostMortem(t *testing.T) {
+	p := boot(t, `
+main:
+    movz X0, #0
+    ldr X1, [X0, #0]
+`)
+	err := p.Run(100)
+	if err == nil {
+		t.Fatal("faulting process ran to completion")
+	}
+	ki := p.Kill
+	if ki == nil {
+		t.Fatal("no post-mortem recorded")
+	}
+	if ki.TaskID != p.Tasks[0].ID {
+		t.Errorf("TaskID = %d, want %d", ki.TaskID, p.Tasks[0].ID)
+	}
+	if ki.PC != p.Tasks[0].M.PC {
+		t.Errorf("PC = %#x, want %#x", ki.PC, p.Tasks[0].M.PC)
+	}
+	if ki.Symbol != "main" {
+		t.Errorf("Symbol = %q, want main", ki.Symbol)
+	}
+	var f *mem.Fault
+	if !errors.As(ki.Cause, &f) {
+		t.Errorf("Cause %v does not chain to *mem.Fault", ki.Cause)
+	}
+	if s := ki.String(); s == "" {
+		t.Error("empty post-mortem string")
+	}
+}
+
+func TestKillInfoNilOnCleanExit(t *testing.T) {
+	p := boot(t, `
+    movz X0, #0
+    svc #0
+`)
+	if err := p.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if p.Kill != nil {
+		t.Errorf("clean exit filed a post-mortem: %v", p.Kill)
+	}
+}
+
+// TestDeliverSignalNearStackBottom pins the kernel's behaviour when
+// the signal frame barely fits — or doesn't — at the bottom of the
+// mapped stack.
+func TestDeliverSignalNearStackBottom(t *testing.T) {
+	// Exactly fits: the frame ends flush with the bottom of the stack.
+	p := boot(t, signalProgram)
+	task := p.Tasks[0]
+	task.M.SetReg(isa.SP, stackBase+FrameSize)
+	h, tr := p.Prog.MustLookup("handler"), p.Prog.MustLookup("tramp")
+	if err := p.DeliverSignal(task, 11, h, tr); err != nil {
+		t.Fatalf("frame that exactly fits was rejected: %v", err)
+	}
+	if got := task.M.Reg(isa.SP); got != stackBase {
+		t.Errorf("handler SP = %#x, want stack bottom %#x", got, stackBase)
+	}
+
+	// One word short: the frame write faults, and the kernel kills the
+	// process the way Linux forces SIGSEGV.
+	p = boot(t, signalProgram)
+	task = p.Tasks[0]
+	task.M.SetReg(isa.SP, stackBase+FrameSize-8)
+	err := p.DeliverSignal(task, 11, h, tr)
+	if !errors.Is(err, ErrProcessKilled) {
+		t.Fatalf("err = %v, want ErrProcessKilled", err)
+	}
+	var f *mem.Fault
+	if !errors.As(err, &f) {
+		t.Errorf("err %v does not chain to *mem.Fault", err)
+	}
+	if p.Alive() {
+		t.Error("killed process reports alive")
+	}
+	if p.Kill == nil {
+		t.Fatal("no post-mortem for the failed frame write")
+	}
+	if p.Kill.TaskID != task.ID {
+		t.Errorf("post-mortem TaskID = %d, want %d", p.Kill.TaskID, task.ID)
+	}
+}
+
+func TestSeedMakesKernelDeterministic(t *testing.T) {
+	mk := func(seed int64) *Process {
+		prog, err := isa.Assemble(codeBase, "main:\n    movz X0, #0\n    svc #0\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mem.New()
+		if err := m.Map(codeBase, mem.PageSize, mem.PermRX); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Map(stackBase, stackSize, mem.PermRW); err != nil {
+			t.Fatal(err)
+		}
+		k := New(pa.DefaultConfig())
+		k.Seed(seed)
+		if !k.Seeded() {
+			t.Fatal("Seed did not mark the kernel seeded")
+		}
+		return k.NewProcess(prog, m, codeBase, stackBase+stackSize)
+	}
+	a, b := mk(42), mk(42)
+	const ptr, mod = 0x10040, 0xfeed
+	if sealed := a.Auth.AddPAC(pa.KeyIA, ptr, mod); sealed != b.Auth.AddPAC(pa.KeyIA, ptr, mod) {
+		t.Error("same seed produced different PA keys")
+	}
+	c := mk(43)
+	sealed := a.Auth.AddPAC(pa.KeyIA, ptr, mod)
+	if _, ok := c.Auth.Auth(pa.KeyIA, sealed, mod); ok {
+		t.Error("different seeds produced colliding PA keys")
+	}
+}

@@ -69,29 +69,42 @@ func (p *Process) fullFrameRef(pc uint64, regs [isa.NumRegs]uint64, flags, prev 
 // pointed at the sigreturn trampoline so that returning from the
 // handler issues the sigreturn system call.
 //
+// If the frame does not fit on the user stack — SP too close to the
+// bottom of the mapped region, or pointing somewhere unwritable — the
+// kernel cannot set up the handler and kills the process, the way
+// Linux forces SIGSEGV when the signal-frame write faults. The
+// returned error carries ErrProcessKilled plus the underlying
+// mem.Fault, and the post-mortem lands in p.Kill.
+//
 // With HardenedSigreturn the kernel additionally records the chained
 // reference asigret_n in kernel space (Appendix B).
 func (p *Process) DeliverSignal(t *Task, signo uint64, handler, trampoline uint64) error {
 	m := t.M
 	base := m.Reg(isa.SP) - FrameSize
 
+	frameKill := func(err error) error {
+		kill := fmt.Errorf("%w: writing signal frame: %w", ErrProcessKilled, err)
+		p.Exited = true
+		p.recordKill(t, kill)
+		return kill
+	}
 	regs := m.Regs()
 	if err := p.Mem.Write64(base, m.PC); err != nil {
-		return fmt.Errorf("kernel: writing signal frame: %w", err)
+		return frameKill(err)
 	}
 	if err := p.Mem.Write64(base+8, packFlags(m.N, m.Z, m.C, m.V)); err != nil {
-		return err
+		return frameKill(err)
 	}
 	var prev uint64
 	if n := len(t.sigRefs); n > 0 {
 		prev = t.sigRefs[n-1]
 	}
 	if err := p.Mem.Write64(base+16, prev); err != nil {
-		return err
+		return frameKill(err)
 	}
 	for i := 0; i < 32; i++ {
 		if err := p.Mem.Write64(base+24+uint64(8*i), regs[i]); err != nil {
-			return err
+			return frameKill(err)
 		}
 	}
 
@@ -142,8 +155,10 @@ func (p *Process) sigreturn(t *Task) error {
 	if p.HardenedSigreturn || p.FullFrameSigreturn {
 		n := len(t.sigRefs)
 		if n == 0 {
+			err := fmt.Errorf("%w: sigreturn with no signal in flight", ErrProcessKilled)
 			p.Exited = true
-			return fmt.Errorf("%w: sigreturn with no signal in flight", ErrProcessKilled)
+			p.recordKill(t, err)
+			return err
 		}
 		want := t.sigRefs[n-1]
 		var got uint64
@@ -153,8 +168,10 @@ func (p *Process) sigreturn(t *Task) error {
 			got = p.chainRef(pc, regs[isa.CR], prev)
 		}
 		if got != want {
+			err := fmt.Errorf("%w: forged signal frame (PC %#x)", ErrProcessKilled, pc)
 			p.Exited = true
-			return fmt.Errorf("%w: forged signal frame (PC %#x)", ErrProcessKilled, pc)
+			p.recordKill(t, err)
+			return err
 		}
 		t.sigRefs = t.sigRefs[:n-1]
 	}

@@ -28,6 +28,7 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
+	mrand "math/rand"
 
 	"pacstack/internal/qarma"
 )
@@ -86,6 +87,18 @@ func GenerateKeys() Keys {
 			W0: binary.LittleEndian.Uint64(buf[:8]),
 			K0: binary.LittleEndian.Uint64(buf[8:]),
 		}
+	}
+	return ks
+}
+
+// GenerateKeysFrom draws a key set from a deterministic source.
+// Reproducible experiments (fault campaigns, seeded kernels) use this
+// so that identical seeds yield identical processes; production-shaped
+// paths keep GenerateKeys.
+func GenerateKeysFrom(rng *mrand.Rand) Keys {
+	var ks Keys
+	for i := range ks {
+		ks[i] = Key{W0: rng.Uint64(), K0: rng.Uint64()}
 	}
 	return ks
 }

@@ -1,0 +1,243 @@
+// Package supervise is a crash-recovery supervisor over
+// kernel.Process: it reboots a victim program after each kill,
+// subject to a restart policy, and keeps the structured post-mortems
+// of every attempt.
+//
+// The supervisor exists because the paper's brute-force analysis
+// (Section 4.3) is an argument about *restarting* victims: what an
+// attacker can learn across crashes depends entirely on how the
+// service comes back. An exec-style respawn draws fresh PA keys, so
+// every crash resets the guessing game (~2^2b expected guesses); a
+// fork-style respawn from a pre-forked template shares the parent's
+// keys, so information survives crashes and guessing drops toward
+// ~2^b. Both policies are offered here, together with the two things
+// any real init system adds: a restart budget with exponential
+// backoff (in simulated cycles — downtime the attacker pays for), and
+// a per-attempt instruction watchdog that turns hangs into kills.
+package supervise
+
+import (
+	"errors"
+	"fmt"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/cpu"
+	"pacstack/internal/kernel"
+	"pacstack/internal/pa"
+)
+
+// Respawn selects how a killed victim comes back.
+type Respawn int
+
+const (
+	// RespawnExec boots a fresh image for every attempt: fresh
+	// address space, fresh canary, and — decisive for Section 4.3 —
+	// fresh PA keys.
+	RespawnExec Respawn = iota
+	// RespawnFork clones each attempt from a pristine, never-run
+	// template process booted once at supervisor creation: cloned
+	// memory, but the *same* PA keys across all attempts, the
+	// pre-forked worker model of Section 4.3.
+	RespawnFork
+)
+
+// String names the respawn policy.
+func (r Respawn) String() string {
+	switch r {
+	case RespawnExec:
+		return "exec (fresh keys)"
+	case RespawnFork:
+		return "fork (shared keys)"
+	}
+	return fmt.Sprintf("Respawn(%d)", int(r))
+}
+
+// Policy is the restart policy.
+type Policy struct {
+	Respawn Respawn
+	// MaxRestarts bounds how many times a killed victim is restarted;
+	// the supervisor runs at most MaxRestarts+1 attempts.
+	MaxRestarts int
+	// BackoffBase is the simulated-cycle delay before the first
+	// restart; each further restart doubles it, up to BackoffCap.
+	// Zero means no backoff.
+	BackoffBase uint64
+	BackoffCap  uint64
+	// Budget is the per-attempt instruction watchdog; a run that
+	// exhausts it is killed and counts as a crash. Zero means a
+	// default of 1<<20 instructions.
+	Budget uint64
+}
+
+func (pol Policy) backoff(restart int) uint64 {
+	if pol.BackoffBase == 0 {
+		return 0
+	}
+	d := pol.BackoffBase
+	for i := 0; i < restart && d < pol.BackoffCap; i++ {
+		d <<= 1
+	}
+	if pol.BackoffCap != 0 && d > pol.BackoffCap {
+		d = pol.BackoffCap
+	}
+	return d
+}
+
+// Attempt is the record of one victim run.
+type Attempt struct {
+	N        int    // attempt number, 0-based
+	Backoff  uint64 // simulated cycles waited before this attempt
+	Err      error  // nil on clean exit
+	Kill     *kernel.KillInfo
+	ExitCode uint64
+	Output   []byte
+}
+
+// ErrRestartsExhausted reports that the victim kept crashing past the
+// policy's restart budget.
+var ErrRestartsExhausted = errors.New("supervise: restart budget exhausted")
+
+// Supervisor restarts one victim image under a policy.
+type Supervisor struct {
+	Img    *compile.Image
+	Kernel *kernel.Kernel
+	Policy Policy
+
+	// Configure, when non-nil, runs on every freshly created process
+	// before anything executes — the place to switch on sigreturn
+	// hardening or scheme-specific process state. Under RespawnFork it
+	// runs once, on the template, and forked attempts inherit.
+	Configure func(p *kernel.Process)
+
+	// Attempts is the post-mortem log, one entry per run.
+	Attempts []Attempt
+	// Downtime is the total simulated backoff the restarts cost.
+	Downtime uint64
+
+	template *kernel.Process // pristine never-run boot (RespawnFork)
+}
+
+// New returns a supervisor for the image under the kernel and policy.
+func New(img *compile.Image, k *kernel.Kernel, pol Policy) *Supervisor {
+	return &Supervisor{Img: img, Kernel: k, Policy: pol}
+}
+
+// next creates the process for one attempt according to the respawn
+// policy.
+func (s *Supervisor) next() (*kernel.Process, error) {
+	switch s.Policy.Respawn {
+	case RespawnFork:
+		if s.template == nil {
+			tpl, err := s.Img.Boot(s.Kernel)
+			if err != nil {
+				return nil, err
+			}
+			if s.Configure != nil {
+				s.Configure(tpl)
+			}
+			s.template = tpl
+		}
+		// The template has never executed an instruction; the fork is
+		// a byte-identical pristine victim with the template's keys.
+		return s.template.Fork(s.template.Tasks[0]), nil
+	default:
+		p, err := s.Img.Boot(s.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		if s.Configure != nil {
+			s.Configure(p)
+		}
+		return p, nil
+	}
+}
+
+// Run supervises the victim until one attempt exits cleanly or the
+// restart budget runs out. Before each attempt executes, mutate (when
+// non-nil) may corrupt the pristine process — install step hooks,
+// poke memory — modelling the attacker's interference with that
+// incarnation. Run returns the final attempt's process; the error is
+// nil on clean exit and wraps ErrRestartsExhausted otherwise. Every
+// attempt, successful or not, is appended to s.Attempts.
+func (s *Supervisor) Run(mutate func(attempt int, p *kernel.Process)) (*kernel.Process, error) {
+	budget := s.Policy.Budget
+	if budget == 0 {
+		budget = 1 << 20
+	}
+	var p *kernel.Process
+	var lastErr error
+	for n := 0; n <= s.Policy.MaxRestarts; n++ {
+		var backoff uint64
+		if n > 0 {
+			backoff = s.Policy.backoff(n - 1)
+			s.Downtime += backoff
+		}
+		var err error
+		p, err = s.next()
+		if err != nil {
+			return nil, err
+		}
+		if mutate != nil {
+			mutate(n, p)
+		}
+		runErr := p.Run(budget)
+		if runErr != nil && p.Kill == nil {
+			// The watchdog (or another budget-style kill) fired without
+			// a machine fault; synthesize the post-mortem the kernel
+			// would have had no chance to file.
+			t := p.Tasks[0]
+			sym, _ := p.Prog.SymbolFor(t.M.PC)
+			p.Kill = &kernel.KillInfo{TaskID: t.ID, PC: t.M.PC, Symbol: sym, Cause: runErr}
+		}
+		s.Attempts = append(s.Attempts, Attempt{
+			N:        n,
+			Backoff:  backoff,
+			Err:      runErr,
+			Kill:     p.Kill,
+			ExitCode: p.ExitCode,
+			Output:   append([]byte(nil), p.Output...),
+		})
+		if runErr == nil {
+			return p, nil
+		}
+		lastErr = runErr
+	}
+	return p, fmt.Errorf("%w after %d attempts: %w", ErrRestartsExhausted, len(s.Attempts), lastErr)
+}
+
+// Crashes counts the attempts that did not exit cleanly.
+func (s *Supervisor) Crashes() int {
+	n := 0
+	for _, a := range s.Attempts {
+		if a.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// WatchdogKills counts attempts the instruction watchdog ended.
+func (s *Supervisor) WatchdogKills() int {
+	n := 0
+	for _, a := range s.Attempts {
+		if errors.Is(a.Err, cpu.ErrStepLimit) {
+			n++
+		}
+	}
+	return n
+}
+
+// SharedKeys reports whether two attempt processes authenticate each
+// other's pointers — true under fork respawn, false (with high
+// probability) under exec respawn. It probes with an instruction-key
+// PAC rather than comparing unexported key material.
+func SharedKeys(a, b *kernel.Process) bool {
+	const ptr, mod = 0x10040, 0xfeed
+	sealed := a.Auth.AddPAC(pa.KeyIA, ptr, mod)
+	_, ok := b.Auth.Auth(pa.KeyIA, sealed, mod)
+	return ok
+}
+
+// StackTop is a convenience for mutate callbacks that need the
+// victim's initial SP.
+func (s *Supervisor) StackTop() uint64 { return s.Img.Layout.StackTop() }

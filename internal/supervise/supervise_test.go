@@ -1,0 +1,194 @@
+package supervise
+
+import (
+	"errors"
+	"testing"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/cpu"
+	"pacstack/internal/ir"
+	"pacstack/internal/kernel"
+	"pacstack/internal/pa"
+)
+
+func image(t *testing.T, prog *ir.Program) *compile.Image {
+	t.Helper()
+	img, err := compile.Compile(prog, compile.SchemePACStack, compile.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func cleanProgram() *ir.Program {
+	return &ir.Program{Entry: "main", Functions: []*ir.Function{
+		{Name: "main", Body: []ir.Op{ir.Write{Byte: 'k'}}},
+	}}
+}
+
+// spinProgram never exits, so every attempt dies on the watchdog.
+func spinProgram() *ir.Program {
+	return &ir.Program{Entry: "main", Functions: []*ir.Function{
+		{Name: "main", Body: []ir.Op{
+			ir.Loop{Count: 1 << 30, Body: []ir.Op{ir.Compute{Units: 1}}},
+		}},
+	}}
+}
+
+func seededKernel(seed int64) *kernel.Kernel {
+	k := kernel.New(pa.DefaultConfig())
+	k.Seed(seed)
+	return k
+}
+
+func TestCleanExitFirstAttempt(t *testing.T) {
+	sup := New(image(t, cleanProgram()), seededKernel(1), Policy{MaxRestarts: 3})
+	p, err := sup.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Output) != "k" {
+		t.Errorf("output %q", p.Output)
+	}
+	if len(sup.Attempts) != 1 || sup.Crashes() != 0 || sup.Downtime != 0 {
+		t.Errorf("attempts=%d crashes=%d downtime=%d, want 1/0/0",
+			len(sup.Attempts), sup.Crashes(), sup.Downtime)
+	}
+}
+
+func TestWatchdogExhaustsRestartBudget(t *testing.T) {
+	sup := New(image(t, spinProgram()), seededKernel(1), Policy{
+		MaxRestarts: 2,
+		Budget:      2_000,
+	})
+	_, err := sup.Run(nil)
+	if !errors.Is(err, ErrRestartsExhausted) {
+		t.Fatalf("err = %v, want ErrRestartsExhausted", err)
+	}
+	if got := len(sup.Attempts); got != 3 {
+		t.Errorf("attempts = %d, want 3 (initial + 2 restarts)", got)
+	}
+	if sup.WatchdogKills() != 3 {
+		t.Errorf("watchdog kills = %d, want 3", sup.WatchdogKills())
+	}
+	for _, a := range sup.Attempts {
+		// The watchdog fires outside the kernel's kill path; the
+		// supervisor must synthesize the post-mortem.
+		if a.Kill == nil {
+			t.Fatalf("attempt %d has no post-mortem", a.N)
+		}
+		if !errors.Is(a.Kill.Cause, cpu.ErrStepLimit) {
+			t.Errorf("attempt %d cause = %v, want step limit", a.N, a.Kill.Cause)
+		}
+		if a.Kill.Symbol == "" {
+			t.Errorf("attempt %d post-mortem has no symbol", a.N)
+		}
+	}
+}
+
+func TestBackoffAccumulates(t *testing.T) {
+	sup := New(image(t, spinProgram()), seededKernel(1), Policy{
+		MaxRestarts: 4,
+		BackoffBase: 100,
+		BackoffCap:  400,
+		Budget:      2_000,
+	})
+	_, err := sup.Run(nil)
+	if !errors.Is(err, ErrRestartsExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	// Restart delays double from base to cap: 100, 200, 400, 400.
+	want := []uint64{0, 100, 200, 400, 400}
+	var total uint64
+	for i, a := range sup.Attempts {
+		if a.Backoff != want[i] {
+			t.Errorf("attempt %d backoff = %d, want %d", i, a.Backoff, want[i])
+		}
+		total += a.Backoff
+	}
+	if sup.Downtime != total {
+		t.Errorf("downtime = %d, want %d", sup.Downtime, total)
+	}
+}
+
+func TestForkRespawnSharesKeys(t *testing.T) {
+	var procs []*kernel.Process
+	sup := New(image(t, spinProgram()), seededKernel(1), Policy{
+		Respawn:     RespawnFork,
+		MaxRestarts: 2,
+		Budget:      2_000,
+	})
+	_, err := sup.Run(func(n int, p *kernel.Process) { procs = append(procs, p) })
+	if !errors.Is(err, ErrRestartsExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(procs) != 3 {
+		t.Fatalf("saw %d incarnations", len(procs))
+	}
+	if !SharedKeys(procs[0], procs[1]) || !SharedKeys(procs[1], procs[2]) {
+		t.Error("fork respawn drew fresh keys; Section 4.3 needs the shared-key worker model")
+	}
+}
+
+func TestExecRespawnFreshKeys(t *testing.T) {
+	var procs []*kernel.Process
+	sup := New(image(t, spinProgram()), seededKernel(1), Policy{
+		Respawn:     RespawnExec,
+		MaxRestarts: 1,
+		Budget:      2_000,
+	})
+	_, err := sup.Run(func(n int, p *kernel.Process) { procs = append(procs, p) })
+	if !errors.Is(err, ErrRestartsExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if SharedKeys(procs[0], procs[1]) {
+		t.Error("exec respawn reused keys; each incarnation must re-key")
+	}
+}
+
+func TestConfigureRunsOncePerIncarnationPolicy(t *testing.T) {
+	for _, respawn := range []Respawn{RespawnFork, RespawnExec} {
+		calls := 0
+		sup := New(image(t, spinProgram()), seededKernel(1), Policy{
+			Respawn:     respawn,
+			MaxRestarts: 2,
+			Budget:      2_000,
+		})
+		sup.Configure = func(p *kernel.Process) {
+			calls++
+			p.FullFrameSigreturn = true
+		}
+		var procs []*kernel.Process
+		_, _ = sup.Run(func(n int, p *kernel.Process) { procs = append(procs, p) })
+		want := 3 // once per exec boot
+		if respawn == RespawnFork {
+			want = 1 // once on the template; forks inherit
+		}
+		if calls != want {
+			t.Errorf("%v: Configure ran %d times, want %d", respawn, calls, want)
+		}
+		for i, p := range procs {
+			if !p.FullFrameSigreturn {
+				t.Errorf("%v: incarnation %d did not inherit configuration", respawn, i)
+			}
+		}
+	}
+}
+
+func TestMutateCanRepairTheVictim(t *testing.T) {
+	// The mutate callback models the attacker, but the supervisor
+	// contract is just "runs before the attempt executes": use it to
+	// count incarnations and confirm the final process is returned.
+	seen := 0
+	sup := New(image(t, cleanProgram()), seededKernel(1), Policy{MaxRestarts: 5})
+	p, err := sup.Run(func(n int, _ *kernel.Process) { seen = n + 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Errorf("clean victim ran %d times, want 1", seen)
+	}
+	if p == nil || p.ExitCode != 0 {
+		t.Errorf("final process %+v", p)
+	}
+}

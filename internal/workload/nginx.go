@@ -111,13 +111,15 @@ const eightWorkerScaling = 30.7 / 14.2
 // measureCyclesPerRequest runs the connection workload once under a
 // scheme; the result is deterministic, so worker configurations can
 // share it.
-func measureCyclesPerRequest(scheme compile.Scheme, cfg NginxConfig, cm cpu.CostModel) (float64, error) {
+func measureCyclesPerRequest(scheme compile.Scheme, cfg NginxConfig, cm cpu.CostModel, seed int64) (float64, error) {
 	prog := handshakeProgram(cfg.Requests)
 	img, err := compile.Compile(prog, scheme, compile.DefaultLayout())
 	if err != nil {
 		return 0, err
 	}
-	proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+	k := kernel.New(pa.DefaultConfig())
+	k.Seed(seed)
+	proc, err := img.Boot(k)
 	if err != nil {
 		return 0, err
 	}
@@ -130,9 +132,10 @@ func measureCyclesPerRequest(scheme compile.Scheme, cfg NginxConfig, cm cpu.Cost
 	return float64(proc.Tasks[0].M.Cycles) / float64(cfg.Requests), nil
 }
 
-// RunNginx measures SSL TPS for one scheme and worker count.
-func RunNginx(scheme compile.Scheme, cfg NginxConfig, cm cpu.CostModel) (NginxResult, error) {
-	cpr, err := measureCyclesPerRequest(scheme, cfg, cm)
+// RunNginx measures SSL TPS for one scheme and worker count. seed
+// fixes the kernel entropy stream so the measurement reproduces.
+func RunNginx(scheme compile.Scheme, cfg NginxConfig, cm cpu.CostModel, seed int64) (NginxResult, error) {
+	cpr, err := measureCyclesPerRequest(scheme, cfg, cm, seed)
 	if err != nil {
 		return NginxResult{}, err
 	}
@@ -155,7 +158,7 @@ func resultFor(scheme compile.Scheme, cfg NginxConfig, cpr float64) NginxResult 
 
 // Table3 runs the full Table 3 grid: baseline, PACStack-nomask and
 // PACStack at 4 and 8 workers, with overheads relative to baseline.
-func Table3(cm cpu.CostModel) ([]NginxResult, error) {
+func Table3(cm cpu.CostModel, seed int64) ([]NginxResult, error) {
 	schemes := []compile.Scheme{
 		compile.SchemeNone,
 		compile.SchemePACStackNoMask,
@@ -164,7 +167,7 @@ func Table3(cm cpu.CostModel) ([]NginxResult, error) {
 	cfg := DefaultNginxConfig()
 	cprs := map[compile.Scheme]float64{}
 	for _, s := range schemes {
-		cpr, err := measureCyclesPerRequest(s, cfg, cm)
+		cpr, err := measureCyclesPerRequest(s, cfg, cm, seed)
 		if err != nil {
 			return nil, err
 		}

@@ -22,8 +22,10 @@ type Result struct {
 
 // RunBenchmark measures one benchmark under all the given schemes and
 // fills in overheads relative to the baseline (which is always run).
-func RunBenchmark(b Benchmark, schemes []compile.Scheme, cm cpu.CostModel) ([]Result, error) {
-	return RunBenchmarkCosts(b, schemes, cm, cm)
+// seed fixes the kernel entropy stream (PA keys, canaries), so the
+// same invocation is reproducible cycle for cycle.
+func RunBenchmark(b Benchmark, schemes []compile.Scheme, cm cpu.CostModel, seed int64) ([]Result, error) {
+	return RunBenchmarkCosts(b, schemes, cm, cm, seed)
 }
 
 // RunBenchmarkCosts separates the cost model the workload is
@@ -31,7 +33,7 @@ func RunBenchmark(b Benchmark, schemes []compile.Scheme, cm cpu.CostModel) ([]Re
 // *executed* under. Ablations that vary instruction latencies must
 // hold the program fixed — generate with the default model — or the
 // calibration silently compensates for the change.
-func RunBenchmarkCosts(b Benchmark, schemes []compile.Scheme, genCM, cm cpu.CostModel) ([]Result, error) {
+func RunBenchmarkCosts(b Benchmark, schemes []compile.Scheme, genCM, cm cpu.CostModel, seed int64) ([]Result, error) {
 	prog := b.Program(genCM)
 
 	run := func(s compile.Scheme) (uint64, uint64, error) {
@@ -39,7 +41,9 @@ func RunBenchmarkCosts(b Benchmark, schemes []compile.Scheme, genCM, cm cpu.Cost
 		if err != nil {
 			return 0, 0, fmt.Errorf("workload: %s/%v: %w", b.Name, s, err)
 		}
-		proc, err := img.Boot(kernel.New(pa.DefaultConfig()))
+		k := kernel.New(pa.DefaultConfig())
+		k.Seed(seed)
+		proc, err := img.Boot(k)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -80,10 +84,10 @@ func RunBenchmarkCosts(b Benchmark, schemes []compile.Scheme, genCM, cm cpu.Cost
 
 // RunSuite measures every benchmark under every scheme — the full
 // Figure 5 grid.
-func RunSuite(benchmarks []Benchmark, schemes []compile.Scheme, cm cpu.CostModel) ([]Result, error) {
+func RunSuite(benchmarks []Benchmark, schemes []compile.Scheme, cm cpu.CostModel, seed int64) ([]Result, error) {
 	var out []Result
 	for _, b := range benchmarks {
-		rs, err := RunBenchmark(b, schemes, cm)
+		rs, err := RunBenchmark(b, schemes, cm, seed)
 		if err != nil {
 			return nil, err
 		}

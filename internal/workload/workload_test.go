@@ -43,7 +43,7 @@ func TestCalibrationReproducesPaperPACStackOverhead(t *testing.T) {
 	// that overhead.
 	for _, name := range []string{"500.perlbench_r", "505.mcf_r", "557.xz_r"} {
 		b := findBench(t, name)
-		rs, err := RunBenchmark(b, []compile.Scheme{compile.SchemePACStack}, cm())
+		rs, err := RunBenchmark(b, []compile.Scheme{compile.SchemePACStack}, cm(), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +56,7 @@ func TestCalibrationReproducesPaperPACStackOverhead(t *testing.T) {
 
 func TestSchemeOrderingOnCallDenseBenchmark(t *testing.T) {
 	b := findBench(t, "600.perlbench_s")
-	rs, err := RunBenchmark(b, compile.Schemes, cm())
+	rs, err := RunBenchmark(b, compile.Schemes, cm(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestTable2Aggregation(t *testing.T) {
 	}
 	rs, err := RunSuite(subset, []compile.Scheme{
 		compile.SchemeNone, compile.SchemePACStack, compile.SchemePACStackNoMask,
-	}, cm())
+	}, cm(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestCPPMean(t *testing.T) {
 		findBench(t, "520.omnetpp_r"),
 		findBench(t, "541.leela_r"),
 	}
-	rs, err := RunSuite(cpp, []compile.Scheme{compile.SchemePACStack}, cm())
+	rs, err := RunSuite(cpp, []compile.Scheme{compile.SchemePACStack}, cm(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestCPPMean(t *testing.T) {
 }
 
 func TestNginxTable3Shape(t *testing.T) {
-	rows, err := Table3(cm())
+	rows, err := Table3(cm(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestNginxTable3Shape(t *testing.T) {
 }
 
 func TestNginxBaselineCalibration(t *testing.T) {
-	r, err := RunNginx(compile.SchemeNone, DefaultNginxConfig(), cm())
+	r, err := RunNginx(compile.SchemeNone, DefaultNginxConfig(), cm(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
