@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench.sh — record one point of the performance trajectory.
+#
+# Writes BENCH_<n>.json (n = first unused index) with the two headline
+# numbers the perf PRs are tracked by:
+#
+#   engine_mips          simulated MIPS from BenchmarkEngine: raw
+#                        execution-engine throughput on a PACStack-
+#                        instrumented SPEC workload
+#   table2_wall_seconds  wall time of one full Table 2 regeneration
+#                        (every benchmark under every scheme), from
+#                        BenchmarkTable2
+#
+# Compare against the previous BENCH_*.json before and after touching
+# the interpreter, the PA model, or the experiment drivers.
+set -eu
+cd "$(dirname "$0")"
+
+n=0
+while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+
+out=$(go test -run=NONE -bench='^(BenchmarkEngine|BenchmarkTable2)$' -benchtime=3x .)
+printf '%s\n' "$out"
+
+mips=$(printf '%s\n' "$out" | awk '$1 ~ /^BenchmarkEngine/ {for (i = 1; i < NF; i++) if ($(i + 1) == "MIPS") v = $i} END {print v}')
+t2ns=$(printf '%s\n' "$out" | awk '$1 ~ /^BenchmarkTable2/ {for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") v = $i} END {print v}')
+[ -n "$mips" ] && [ -n "$t2ns" ] || { echo "bench.sh: could not parse benchmark output" >&2; exit 1; }
+t2s=$(awk "BEGIN {printf \"%.3f\", $t2ns / 1e9}")
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+cat > "BENCH_${n}.json" <<EOF
+{
+  "bench": ${n},
+  "commit": "${commit}",
+  "engine_mips": ${mips},
+  "table2_wall_seconds": ${t2s}
+}
+EOF
+echo "wrote BENCH_${n}.json (engine ${mips} MIPS, Table 2 in ${t2s}s)"

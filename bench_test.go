@@ -35,6 +35,39 @@ import (
 	"pacstack/internal/workload"
 )
 
+// BenchmarkEngine measures raw execution-engine throughput in
+// simulated MIPS (instructions retired per wall-second): one
+// deterministic PACStack-instrumented SPEC workload booted and run to
+// completion per iteration, image compiled once outside the timer.
+// This is the number the fast-path work (instruction-window decode
+// cache, executable-range fetch cache, flat cost table, PAC
+// memoization) is tracked by; bench.sh records it in BENCH_<n>.json.
+func BenchmarkEngine(b *testing.B) {
+	bench := workload.SPEC[0]
+	img, err := compile.Compile(bench.Program(cpu.DefaultCostModel()),
+		compile.SchemePACStack, compile.DefaultLayout())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		k := kernel.New(pa.DefaultConfig())
+		k.Seed(1)
+		proc, err := img.Boot(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := proc.Run(50_000_000); err != nil {
+			b.Fatal(err)
+		}
+		instrs += proc.Tasks[0].M.Instrs
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(instrs)/secs/1e6, "MIPS")
+	}
+}
+
 func BenchmarkTable1(b *testing.B) {
 	for _, masked := range []bool{false, true} {
 		for _, kind := range []attack.ViolationKind{

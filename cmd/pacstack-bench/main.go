@@ -6,9 +6,12 @@
 // Usage:
 //
 //	pacstack-bench [-exp fig5|table2|table3|paccost|all] [-seed N]
+//	               [-cpuprofile FILE] [-memprofile FILE]
 //
 // Every measurement is deterministic in -seed: identical invocations
-// print identical tables.
+// print identical tables. The -cpuprofile / -memprofile flags write
+// pprof profiles of the run, so performance work on the execution
+// engine can be measured against the real experiment mix.
 package main
 
 import (
@@ -16,6 +19,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"pacstack/internal/compile"
 	"pacstack/internal/cpu"
@@ -28,7 +33,34 @@ func main() {
 	log.SetPrefix("pacstack-bench: ")
 	exp := flag.String("exp", "all", "experiment: fig5, table2, table3, paccost, or all")
 	seed := flag.Int64("seed", 1, "kernel entropy seed (same seed, same tables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	cm := cpu.DefaultCostModel()
 	switch *exp {

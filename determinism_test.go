@@ -1,0 +1,117 @@
+package pacstack
+
+import (
+	"reflect"
+	"testing"
+
+	"pacstack/internal/attack"
+	"pacstack/internal/compile"
+	"pacstack/internal/confirm"
+	"pacstack/internal/cpu"
+	"pacstack/internal/fault"
+	"pacstack/internal/par"
+	"pacstack/internal/workload"
+)
+
+// The experiment drivers fan independent seeded runs out over the
+// internal/par worker pool and merge results in input order, with the
+// contract that parallel output is byte-identical to serial output.
+// These tests hold the drivers to it: every fanned-out experiment is
+// run once with a single worker and once with a wide pool, and the
+// results must be deeply equal. check.sh runs them under -race, which
+// additionally proves the fan-out is free of data races.
+
+// withWorkers runs f twice, pinned to 1 worker and then to 8, and
+// returns both results for comparison.
+func withWorkers[T any](t *testing.T, f func() T) (serial, parallel T) {
+	t.Helper()
+	restore := par.SetWorkers(1)
+	serial = f()
+	restore()
+	restore = par.SetWorkers(8)
+	parallel = f()
+	restore()
+	return serial, parallel
+}
+
+func TestRunSuiteParallelDeterminism(t *testing.T) {
+	type out struct {
+		rs  []workload.Result
+		err error
+	}
+	serial, parallel := withWorkers(t, func() out {
+		rs, err := workload.RunSuite(workload.SPEC[:4], compile.Schemes, cpu.DefaultCostModel(), 7)
+		return out{rs, err}
+	})
+	if serial.err != nil || parallel.err != nil {
+		t.Fatalf("suite failed: serial=%v parallel=%v", serial.err, parallel.err)
+	}
+	if !reflect.DeepEqual(serial.rs, parallel.rs) {
+		t.Fatalf("parallel RunSuite diverged from serial:\nserial:   %+v\nparallel: %+v", serial.rs, parallel.rs)
+	}
+}
+
+func TestTable1ParallelDeterminism(t *testing.T) {
+	cfg := attack.DefaultTable1Config()
+	cfg.Trials = 500
+	serial, parallel := withWorkers(t, func() []attack.Table1Cell {
+		return attack.Table1(cfg)
+	})
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel Table1 diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+func TestFaultCampaignParallelDeterminism(t *testing.T) {
+	campaign := fault.Campaign{Kind: fault.KindRetAddr, Trials: 40, Seed: 3}
+	type out struct {
+		rs  []fault.Report
+		err error
+	}
+	serial, parallel := withWorkers(t, func() out {
+		// A fresh engine per run: the image/golden caches must not be
+		// able to mask an ordering dependence.
+		rs, err := fault.NewEngine(fault.DefaultProgram()).RunAll(compile.Schemes, campaign)
+		return out{rs, err}
+	})
+	if serial.err != nil || parallel.err != nil {
+		t.Fatalf("campaign failed: serial=%v parallel=%v", serial.err, parallel.err)
+	}
+	if !reflect.DeepEqual(serial.rs, parallel.rs) {
+		t.Fatalf("parallel fault campaign diverged from serial:\nserial:   %+v\nparallel: %+v", serial.rs, parallel.rs)
+	}
+}
+
+func TestConfirmParallelDeterminism(t *testing.T) {
+	type out struct {
+		rs  []confirm.Result
+		err error
+	}
+	serial, parallel := withWorkers(t, func() out {
+		rs, err := confirm.RunAll(compile.Schemes)
+		return out{rs, err}
+	})
+	if serial.err != nil || parallel.err != nil {
+		t.Fatalf("confirm failed: serial=%v parallel=%v", serial.err, parallel.err)
+	}
+	if !reflect.DeepEqual(serial.rs, parallel.rs) {
+		t.Fatalf("parallel RunAll diverged from serial:\nserial:   %+v\nparallel: %+v", serial.rs, parallel.rs)
+	}
+}
+
+func TestTable3ParallelDeterminism(t *testing.T) {
+	type out struct {
+		rs  []workload.NginxResult
+		err error
+	}
+	serial, parallel := withWorkers(t, func() out {
+		rs, err := workload.Table3(cpu.DefaultCostModel(), 5)
+		return out{rs, err}
+	})
+	if serial.err != nil || parallel.err != nil {
+		t.Fatalf("table3 failed: serial=%v parallel=%v", serial.err, parallel.err)
+	}
+	if !reflect.DeepEqual(serial.rs, parallel.rs) {
+		t.Fatalf("parallel Table3 diverged from serial:\nserial:   %+v\nparallel: %+v", serial.rs, parallel.rs)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"pacstack/internal/core"
+	"pacstack/internal/par"
 	"pacstack/internal/stats"
 )
 
@@ -76,13 +77,26 @@ func DefaultTable1Config() Table1Config {
 // Figure 4: function C, called along attacker-steerable paths, calls
 // a loader function from return site retC; on the loader's return the
 // spilled aret below it is authenticated against the chain register.
+//
+// Each of the six cells draws from its own rng (seeded by the cell's
+// coordinates), so cells fan out over the par worker pool and merge
+// in the fixed (kind, masked) order — byte-identical to a serial
+// sweep.
 func Table1(cfg Table1Config) []Table1Cell {
-	var cells []Table1Cell
+	type coord struct {
+		kind   ViolationKind
+		masked bool
+	}
+	var coords []coord
 	for _, kind := range []ViolationKind{OnGraph, OffGraphCallSite, OffGraphArbitrary} {
 		for _, masked := range []bool{false, true} {
-			cells = append(cells, measureCell(cfg, kind, masked))
+			coords = append(coords, coord{kind, masked})
 		}
 	}
+	cells := make([]Table1Cell, len(coords))
+	par.ForEach(len(coords), func(i int) {
+		cells[i] = measureCell(cfg, coords[i].kind, coords[i].masked)
+	})
 	return cells
 }
 

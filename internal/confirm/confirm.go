@@ -17,6 +17,7 @@ import (
 	"pacstack/internal/isa"
 	"pacstack/internal/kernel"
 	"pacstack/internal/pa"
+	"pacstack/internal/par"
 )
 
 // Outcome is the observable behaviour of a test program.
@@ -81,14 +82,20 @@ type Result struct {
 }
 
 // RunAll executes every test under every scheme, comparing each
-// outcome to the same test under SchemeNone.
+// outcome to the same test under SchemeNone. Tests fan out over the
+// par worker pool — every execution boots its own seeded kernel, so
+// tests are independent — and verdicts merge in (test, scheme) order,
+// byte-identical to a serial sweep.
 func RunAll(schemes []compile.Scheme) ([]Result, error) {
-	var out []Result
-	for _, t := range Tests() {
+	tests := Tests()
+	perTest := make([][]Result, len(tests))
+	err := par.ForEachErr(len(tests), func(i int) error {
+		t := tests[i]
 		ref, err := t.Execute(compile.SchemeNone)
 		if err != nil {
-			return nil, fmt.Errorf("confirm: %s baseline: %w", t.Name, err)
+			return fmt.Errorf("confirm: %s baseline: %w", t.Name, err)
 		}
+		rs := make([]Result, 0, len(schemes))
 		for _, s := range schemes {
 			got, err := t.Execute(s)
 			r := Result{Test: t.Name, Scheme: s, Outcome: got}
@@ -101,8 +108,17 @@ func RunAll(schemes []compile.Scheme) ([]Result, error) {
 			default:
 				r.Pass = true
 			}
-			out = append(out, r)
+			rs = append(rs, r)
 		}
+		perTest[i] = rs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, rs := range perTest {
+		out = append(out, rs...)
 	}
 	return out, nil
 }

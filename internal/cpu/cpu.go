@@ -125,6 +125,69 @@ type Machine struct {
 	// (internal/fault) fires corruptions through, keyed on Instrs. A
 	// returned error faults the machine.
 	PreStep func(m *Machine) error
+
+	// Fast-path caches. All are derived state, revalidated against
+	// their sources on every Step, so the exported Prog / Cost fields
+	// (and the memory map) may still be swapped or mutated between
+	// steps without the caches going stale:
+	//
+	//   - the decode cache turns straight-line fetch into one bounds
+	//     compare plus a slice index instead of Prog.At's
+	//     bounds/alignment/divide path;
+	//   - the fetch cache holds the contiguous executable window
+	//     containing the last fetch and the mem generation it was
+	//     valid at, so CheckFetch's page walk only happens after a
+	//     Map/Protect or an out-of-window branch;
+	//   - the cost cache flattens the CostModel switch into a per-op
+	//     array lookup.
+	progCached *isa.Program // source of the decode cache
+	progBase   uint64
+	progSize   uint64
+	progInstrs []isa.Instr
+
+	fetchGen    uint64 // mem.Gen() the window was computed at
+	fetchLo     uint64
+	fetchHi     uint64
+	fetchValid  bool
+	costSrc     CostModel // source of the cost table
+	costTab     [isa.NumOps]uint32
+	costTabInit bool
+}
+
+// cacheProg (re)derives the decode cache from m.Prog.
+func (m *Machine) cacheProg() {
+	m.progCached = m.Prog
+	if m.Prog == nil {
+		m.progBase, m.progSize, m.progInstrs = 0, 0, nil
+		return
+	}
+	m.progBase = m.Prog.Base
+	m.progSize = m.Prog.Size()
+	m.progInstrs = m.Prog.Instrs
+}
+
+// cacheCost (re)derives the flat cost table from m.Cost.
+func (m *Machine) cacheCost() {
+	m.costSrc = m.Cost
+	for op := 0; op < isa.NumOps; op++ {
+		m.costTab[op] = uint32(m.Cost.Cost(isa.Op(op)))
+	}
+	m.costTabInit = true
+}
+
+// checkFetch validates that addr is executable, through the cached
+// executable window when possible. It returns exactly the error
+// mem.CheckFetch would.
+func (m *Machine) checkFetch(addr uint64) error {
+	if g := m.Mem.Gen(); m.fetchValid && g == m.fetchGen && addr >= m.fetchLo && addr < m.fetchHi {
+		return nil
+	}
+	lo, hi, err := m.Mem.ExecRegion(addr)
+	if err != nil {
+		return err
+	}
+	m.fetchLo, m.fetchHi, m.fetchGen, m.fetchValid = lo, hi, m.Mem.Gen(), true
+	return nil
 }
 
 // New returns a machine executing prog against memory m with PA
@@ -173,7 +236,7 @@ func (m *Machine) checkTarget(t uint64) error {
 	if m.Auth != nil && !m.Auth.IsCanonical(t) {
 		return &TranslationFault{Target: t}
 	}
-	return m.Mem.CheckFetch(t)
+	return m.checkFetch(t)
 }
 
 // Step retires one instruction.
@@ -186,17 +249,35 @@ func (m *Machine) Step() error {
 			return m.fault(err)
 		}
 	}
-	if err := m.Mem.CheckFetch(m.PC); err != nil {
+	if err := m.checkFetch(m.PC); err != nil {
 		return m.fault(err)
 	}
-	ins, err := m.Prog.At(m.PC)
-	if err != nil {
-		return m.fault(err)
+	if m.Prog != m.progCached {
+		m.cacheProg()
+	}
+	var ins isa.Instr
+	if off := m.PC - m.progBase; off < m.progSize && off%isa.InstrSize == 0 {
+		ins = m.progInstrs[off/isa.InstrSize]
+	} else {
+		var err error
+		ins, err = m.Prog.At(m.PC)
+		if err != nil {
+			return m.fault(err)
+		}
 	}
 	if m.Trace != nil {
 		m.Trace(m.PC, ins)
 	}
-	m.Cycles += uint64(m.Cost.Cost(ins.Op))
+	if m.Cost != m.costSrc || !m.costTabInit {
+		m.cacheCost()
+	}
+	if uint(ins.Op) < uint(isa.NumOps) {
+		m.Cycles += uint64(m.costTab[ins.Op])
+	} else {
+		// Out-of-range op: charge the default cost (as CostModel.Cost
+		// would) and let the dispatch switch raise the undefined fault.
+		m.Cycles += uint64(m.costSrc.Default)
+	}
 	m.Instrs++
 
 	next := m.PC + isa.InstrSize

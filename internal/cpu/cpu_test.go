@@ -485,3 +485,106 @@ func TestAutiaspWrongSPPoisons(t *testing.T) {
 		t.Error("autiasp with a different SP accepted the signature")
 	}
 }
+
+func TestFetchCacheInvalidatedByProtect(t *testing.T) {
+	// The executable-window cache must be revalidated after a Protect:
+	// revoking X on the code pages mid-run has to fault the very next
+	// fetch, exactly as an uncached CheckFetch would.
+	m := build(t, `
+    movz X0, #1
+    movz X1, #2
+    movz X2, #3
+    hlt
+`)
+	if err := m.Step(); err != nil { // warms the fetch cache
+		t.Fatal(err)
+	}
+	codeLen := (m.Prog.Size()/mem.PageSize + 1) * mem.PageSize
+	if err := m.Mem.Protect(codeBase, codeLen, mem.PermR); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Step()
+	var mf *mem.Fault
+	if !errors.As(err, &mf) || mf.Kind != mem.AccessFetch {
+		t.Fatalf("step after revoking X: got %v, want fetch fault", err)
+	}
+}
+
+func TestFetchCacheTracksRemappedWindow(t *testing.T) {
+	// Restoring X after a revocation must also take effect on the next
+	// step (the generation bump goes both ways).
+	m := build(t, `
+    movz X0, #1
+    movz X1, #2
+    hlt
+`)
+	if err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	codeLen := (m.Prog.Size()/mem.PageSize + 1) * mem.PageSize
+	if err := m.Mem.Protect(codeBase, codeLen, mem.PermR); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(); err == nil {
+		t.Fatal("step with X revoked succeeded")
+	}
+	if err := m.Mem.Protect(codeBase, codeLen, mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	m.Halted = false
+	mustRun(t, m)
+	if got := m.Reg(isa.X1); got != 2 {
+		t.Fatalf("X1 = %d after re-protect, want 2", got)
+	}
+}
+
+func TestDecodeCacheFollowsProgSwap(t *testing.T) {
+	// The decode cache keys on the Prog pointer: swapping the program
+	// between steps (as kernel exec does for fresh tasks) must decode
+	// from the new image.
+	m := build(t, `
+    movz X0, #1
+    hlt
+`)
+	if err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := isa.Assemble(codeBase, `
+    movz X0, #42
+    movz X0, #43
+    hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Prog = prog2
+	m.PC = codeBase + isa.InstrSize
+	mustRun(t, m)
+	if got := m.Reg(isa.X0); got != 43 {
+		t.Fatalf("X0 = %d after prog swap, want 43", got)
+	}
+}
+
+func TestCostTableFollowsCostModelSwap(t *testing.T) {
+	// The flat cost table must rebuild when the Cost field changes
+	// between steps, as the ablation drivers do.
+	src := `
+    movz X0, #1
+    movz X1, #2
+    hlt
+`
+	m := build(t, src)
+	if err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	first := m.Cycles
+	cm := DefaultCostModel()
+	cm.Default = 100
+	m.Cost = cm
+	if err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cycles - first; got != 100 {
+		t.Fatalf("second step cost %d cycles, want 100 after model swap", got)
+	}
+}

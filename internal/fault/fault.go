@@ -28,6 +28,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"pacstack/internal/compile"
 	"pacstack/internal/cpu"
@@ -36,6 +37,7 @@ import (
 	"pacstack/internal/kernel"
 	"pacstack/internal/mem"
 	"pacstack/internal/pa"
+	"pacstack/internal/par"
 )
 
 // Kind selects the corruption shape of a campaign.
@@ -217,11 +219,14 @@ type golden struct {
 
 // Engine runs campaigns for one program. Images and golden runs are
 // compiled and measured once per scheme and reused across campaigns.
+// The caches are mutex-guarded so campaigns for different schemes can
+// run concurrently (RunAll fans them out over the par worker pool).
 type Engine struct {
 	Prog   *ir.Program
 	Layout compile.Layout
 	Config pa.Config
 
+	mu      sync.Mutex
 	images  map[compile.Scheme]*compile.Image
 	goldens map[compile.Scheme]*golden
 }
@@ -276,6 +281,8 @@ func DefaultProgram() *ir.Program {
 }
 
 func (e *Engine) image(s compile.Scheme) (*compile.Image, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if img, ok := e.images[s]; ok {
 		return img, nil
 	}
@@ -318,7 +325,10 @@ func (e *Engine) Golden(s compile.Scheme) (output []byte, exitCode, instrs uint6
 }
 
 func (e *Engine) goldenRun(s compile.Scheme) (*golden, error) {
-	if g, ok := e.goldens[s]; ok {
+	e.mu.Lock()
+	g, ok := e.goldens[s]
+	e.mu.Unlock()
+	if ok {
 		return g, nil
 	}
 	img, err := e.image(s)
@@ -332,12 +342,16 @@ func (e *Engine) goldenRun(s compile.Scheme) (*golden, error) {
 	if err := proc.Run(50_000_000); err != nil {
 		return nil, fmt.Errorf("fault: golden run of %v failed: %w", s, err)
 	}
-	g := &golden{
+	g = &golden{
 		output:   append([]byte(nil), proc.Output...),
 		exitCode: proc.ExitCode,
 		instrs:   proc.Tasks[0].M.Instrs,
 	}
+	// A concurrent caller may have raced the computation; both results
+	// are identical (the golden run is seeded), so last-store wins.
+	e.mu.Lock()
 	e.goldens[s] = g
+	e.mu.Unlock()
 	return g, nil
 }
 
@@ -401,15 +415,20 @@ func (e *Engine) Run(s compile.Scheme, c Campaign) (Report, error) {
 	return rep, nil
 }
 
-// RunAll executes the campaign against every scheme in order.
+// RunAll executes the campaign against every scheme. Each scheme's
+// trial stream is a pure function of (scheme, campaign) — the rng is
+// derived from the campaign seed and the scheme — so schemes fan out
+// over the par worker pool and reports merge in input order, byte-
+// identical to a serial sweep.
 func (e *Engine) RunAll(schemes []compile.Scheme, c Campaign) ([]Report, error) {
-	out := make([]Report, 0, len(schemes))
-	for _, s := range schemes {
-		r, err := e.Run(s, c)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	out := make([]Report, len(schemes))
+	err := par.ForEachErr(len(schemes), func(i int) error {
+		r, err := e.Run(schemes[i], c)
+		out[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -147,6 +147,10 @@ const (
 	numOps
 )
 
+// NumOps is the number of defined opcodes; flat per-op tables (e.g.
+// the CPU's cycle-cost table) are sized by it.
+const NumOps = int(numOps)
+
 // Cond is a branch condition for BCND.
 type Cond int
 

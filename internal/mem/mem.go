@@ -90,6 +90,10 @@ type page struct {
 // single-core interleaving model.
 type Memory struct {
 	pages map[uint64]*page
+	// gen counts mapping/permission changes. Fetch-permission caches
+	// (cpu.Machine's executable-window cache) key on it so they only
+	// re-walk pages after a Map or Protect.
+	gen uint64
 }
 
 // New returns an empty address space.
@@ -97,11 +101,17 @@ func New() *Memory {
 	return &Memory{pages: make(map[uint64]*page)}
 }
 
+// Gen returns the mapping generation: it changes whenever a Map or
+// Protect could have altered which addresses are executable, so any
+// cached fetch-permission decision taken at an older generation must
+// be revalidated.
+func (m *Memory) Gen() uint64 { return m.gen }
+
 // Clone returns a deep copy of the address space: the copy-on-write
 // effect of fork, fully materialized. Used by the kernel's fork and
 // by attack harnesses that replay a process from a snapshot.
 func (m *Memory) Clone() *Memory {
-	c := &Memory{pages: make(map[uint64]*page, len(m.pages))}
+	c := &Memory{pages: make(map[uint64]*page, len(m.pages)), gen: m.gen}
 	for k, pg := range m.pages {
 		cp := *pg
 		c.pages[k] = &cp
@@ -129,6 +139,7 @@ func (m *Memory) Map(addr, size uint64, perm Perm) error {
 	for p := first; p <= last; p++ {
 		m.pages[p] = &page{perm: perm}
 	}
+	m.gen++
 	return nil
 }
 
@@ -148,6 +159,7 @@ func (m *Memory) Protect(addr, size uint64, perm Perm) error {
 	for p := first; p <= last; p++ {
 		m.pages[p].perm = perm
 	}
+	m.gen++
 	return nil
 }
 
@@ -229,25 +241,70 @@ func (m *Memory) CheckFetch(addr uint64) error {
 	return err
 }
 
-// ReadBytes copies size bytes starting at addr.
+// ExecRegion returns the maximal contiguous executable window
+// [lo, hi) containing addr, or the fetch fault for addr when its page
+// is not executable. Together with Gen it backs the CPU's fetch fast
+// path: a fetch inside a previously returned window at an unchanged
+// generation needs no page walk at all.
+func (m *Memory) ExecRegion(addr uint64) (lo, hi uint64, err error) {
+	if _, _, err := m.access(addr, 1, AccessFetch, PermX); err != nil {
+		return 0, 0, err
+	}
+	first := addr / PageSize
+	last := first
+	for first > 0 {
+		pg, ok := m.pages[first-1]
+		if !ok || pg.perm&PermX == 0 {
+			break
+		}
+		first--
+	}
+	for {
+		pg, ok := m.pages[last+1]
+		if !ok || pg.perm&PermX == 0 {
+			break
+		}
+		last++
+	}
+	return first * PageSize, (last + 1) * PageSize, nil
+}
+
+// ReadBytes copies size bytes starting at addr, page at a time.
 func (m *Memory) ReadBytes(addr, size uint64) ([]byte, error) {
 	out := make([]byte, size)
-	for i := uint64(0); i < size; i++ {
-		b, err := m.Read8(addr + i)
+	for done := uint64(0); done < size; {
+		a := addr + done
+		n := PageSize - int(a%PageSize)
+		if rem := size - done; rem < uint64(n) {
+			n = int(rem)
+		}
+		pg, off, err := m.access(a, n, AccessRead, PermR)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = b
+		copy(out[done:], pg.data[off:off+n])
+		done += uint64(n)
 	}
 	return out, nil
 }
 
-// WriteBytes stores b starting at addr.
+// WriteBytes stores b starting at addr, page at a time. On a fault
+// mid-copy, every byte before the faulting page has been written,
+// matching the byte-wise semantics (permissions are per page, so a
+// fault can only occur at a page boundary).
 func (m *Memory) WriteBytes(addr uint64, b []byte) error {
-	for i, x := range b {
-		if err := m.Write8(addr+uint64(i), x); err != nil {
+	for done := 0; done < len(b); {
+		a := addr + uint64(done)
+		n := PageSize - int(a%PageSize)
+		if rem := len(b) - done; rem < n {
+			n = rem
+		}
+		pg, off, err := m.access(a, n, AccessWrite, PermW)
+		if err != nil {
 			return err
 		}
+		copy(pg.data[off:off+n], b[done:done+n])
+		done += n
 	}
 	return nil
 }

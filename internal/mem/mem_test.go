@@ -244,3 +244,117 @@ func TestCloneIndependence(t *testing.T) {
 		t.Error("clone mapping appeared in the original")
 	}
 }
+
+func TestReadWriteBytesAcrossPages(t *testing.T) {
+	// The page-at-a-time copy paths must behave exactly like the old
+	// byte-wise walk across page boundaries.
+	m := New()
+	if err := m.Map(0x1000, 4*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 2*PageSize+100)
+	for i := range data {
+		data[i] = byte(i*7 + 3)
+	}
+	start := uint64(0x1000 + PageSize - 50) // straddles two boundaries
+	if err := m.WriteBytes(start, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBytes(start, uint64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d: got %#x, want %#x", i, got[i], data[i])
+		}
+	}
+	// Spot-check against the single-byte path.
+	b, err := m.Read8(start + uint64(PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != data[PageSize] {
+		t.Fatalf("Read8 disagrees with ReadBytes: %#x vs %#x", b, data[PageSize])
+	}
+}
+
+func TestWriteBytesPartialOnFault(t *testing.T) {
+	// A fault mid-copy happens at a page boundary; everything before
+	// the faulting page must have been written (byte-wise semantics).
+	m := New()
+	if err := m.Map(0x1000, PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = 0xAB
+	}
+	start := uint64(0x1000 + PageSize - 40)
+	err := m.WriteBytes(start, data)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != AccessWrite {
+		t.Fatalf("got %v, want write fault at the unmapped page", err)
+	}
+	for i := 0; i < 40; i++ {
+		b, err := m.Read8(start + uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != 0xAB {
+			t.Fatalf("byte %d not written before the fault", i)
+		}
+	}
+}
+
+func TestReadBytesFaultsOnUnmappedTail(t *testing.T) {
+	m := New()
+	if err := m.Map(0x1000, PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadBytes(0x1000+PageSize-8, 16); err == nil {
+		t.Fatal("read into unmapped page succeeded")
+	}
+}
+
+func TestExecRegion(t *testing.T) {
+	m := New()
+	if err := m.Map(0x10000, 3*PageSize, PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map(0x10000+3*PageSize, PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := m.ExecRegion(0x10000 + PageSize + 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0x10000 || hi != 0x10000+3*PageSize {
+		t.Fatalf("ExecRegion = [%#x, %#x), want [%#x, %#x)", lo, hi, 0x10000, 0x10000+3*PageSize)
+	}
+	// Non-executable and unmapped addresses return the CheckFetch error.
+	if _, _, err := m.ExecRegion(0x10000 + 3*PageSize); err == nil {
+		t.Fatal("ExecRegion on an RW page succeeded")
+	}
+	if _, _, err := m.ExecRegion(0x90000); err == nil {
+		t.Fatal("ExecRegion on an unmapped page succeeded")
+	}
+}
+
+func TestGenBumpsOnMapAndProtect(t *testing.T) {
+	m := New()
+	g0 := m.Gen()
+	if err := m.Map(0x1000, PageSize, PermRX); err != nil {
+		t.Fatal(err)
+	}
+	g1 := m.Gen()
+	if g1 == g0 {
+		t.Fatal("Map did not bump the generation")
+	}
+	if err := m.Protect(0x1000, PageSize, PermR); err != nil {
+		t.Fatal(err)
+	}
+	if m.Gen() == g1 {
+		t.Fatal("Protect did not bump the generation")
+	}
+}

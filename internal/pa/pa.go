@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	mrand "math/rand"
+	"sync/atomic"
 
 	"pacstack/internal/qarma"
 )
@@ -147,6 +148,40 @@ type Authenticator struct {
 	pacMask uint64 // bits that hold the PAC
 	extMask uint64 // all non-address bits above VASize (incl. sign bit)
 	tagMask uint64 // top-byte tag bits when tagging is enabled
+	cache   []pacEntry
+}
+
+// pacCacheSize is the number of direct-mapped memo entries per
+// Authenticator (power of two). Sized so the working set of a deep
+// call chain — one live (ptr, modifier) pair per activation — fits.
+const pacCacheSize = 1024
+
+// pacEntry memoizes one computePAC evaluation. Every call/return pair
+// evaluates the same QARMA block twice (pac* on call, aut* on
+// return), and loops re-sign identical (pointer, modifier) pairs each
+// iteration, so a hit skips the full cipher.
+//
+// The cipher is a pure function of (key, pointer, modifier) and keys
+// are fixed for the Authenticator's lifetime, so memoization cannot
+// change results — a hit is only taken when the full tuple matches
+// exactly; index collisions merely miss. Entries are published under
+// a seqlock (seq odd while a writer owns the entry, fields re-read
+// consistent only if seq is even and unchanged) with every field
+// atomic, which keeps the Authenticator safe for concurrent use —
+// including under the race detector — without a lock on the hit path.
+type pacEntry struct {
+	seq atomic.Uint64 // even: stable; odd: write in progress
+	key atomic.Uint64
+	ptr atomic.Uint64
+	mod atomic.Uint64
+	val atomic.Uint64
+}
+
+// pacIndex mixes the lookup tuple into a cache slot.
+func pacIndex(key KeyID, p, modifier uint64) uint64 {
+	h := p*0x9E3779B97F4A7C15 ^ modifier*0xBF58476D1CE4E5B9 ^ uint64(key)*0x94D049BB133111EB
+	h ^= h >> 32
+	return h & (pacCacheSize - 1)
 }
 
 // New builds an Authenticator for the given keys and configuration.
@@ -154,7 +189,7 @@ func New(keys Keys, cfg Config) *Authenticator {
 	if cfg.VASize < 32 || cfg.VASize > 52 {
 		panic(fmt.Sprintf("pa: unsupported VA size %d", cfg.VASize))
 	}
-	a := &Authenticator{cfg: cfg}
+	a := &Authenticator{cfg: cfg, cache: make([]pacEntry, pacCacheSize)}
 	for i, k := range keys {
 		a.ciphers[i] = qarma.New(k.W0, k.K0, qarma.Config{Rounds: cfg.Rounds, Sbox: cfg.Sbox})
 	}
@@ -207,12 +242,37 @@ func (a *Authenticator) IsCanonical(p uint64) bool {
 	return p == a.Canonical(p)
 }
 
-// computePAC evaluates the MAC: QARMA-64 over the canonical pointer
-// with the modifier as the tweak, then spread into the PAC field.
+// computePAC evaluates the MAC through the memo cache: QARMA-64 over
+// the canonical pointer with the modifier as the tweak, then spread
+// into the PAC field.
+func (a *Authenticator) computePAC(key KeyID, p, modifier uint64) uint64 {
+	cp := a.Canonical(p)
+	e := &a.cache[pacIndex(key, cp, modifier)]
+	// seq 0 marks a never-written entry (so the zero tuple cannot
+	// false-hit an empty slot); odd marks a write in progress.
+	if s := e.seq.Load(); s != 0 && s&1 == 0 &&
+		e.key.Load() == uint64(key) && e.ptr.Load() == cp && e.mod.Load() == modifier {
+		v := e.val.Load()
+		if e.seq.Load() == s {
+			return v
+		}
+	}
+	v := a.pacFor(key, cp, modifier)
+	if s := e.seq.Load(); s&1 == 0 && e.seq.CompareAndSwap(s, s+1) {
+		e.key.Store(uint64(key))
+		e.ptr.Store(cp)
+		e.mod.Store(modifier)
+		e.val.Store(v)
+		e.seq.Store(s + 2)
+	}
+	return v
+}
+
+// pacFor is the uncached MAC evaluation; p must already be canonical.
 // The full cipher output is folded so every PAC width uses all 64
 // output bits.
-func (a *Authenticator) computePAC(key KeyID, p, modifier uint64) uint64 {
-	ct := a.ciphers[key].Encrypt(a.Canonical(p), modifier)
+func (a *Authenticator) pacFor(key KeyID, p, modifier uint64) uint64 {
+	ct := a.ciphers[key].Encrypt(p, modifier)
 	// Fold the 64-bit ciphertext down to the PAC width, then deposit
 	// the bits into the (possibly split) PAC field.
 	b := a.PACBits()

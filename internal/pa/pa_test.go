@@ -1,11 +1,20 @@
 package pa
 
 import (
+	"fmt"
+	mrand "math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
 	"pacstack/internal/qarma"
 )
+
+// testKeys draws a fixed deterministic key set for cache tests that
+// compare two Authenticators built over the same keys.
+func testKeys() Keys {
+	return GenerateKeysFrom(mrand.New(mrand.NewSource(0xACC)))
+}
 
 func testAuth(t *testing.T, cfg Config) *Authenticator {
 	t.Helper()
@@ -340,5 +349,72 @@ func TestConfigVariantsRoundTrip(t *testing.T) {
 	}
 	if same > 3 {
 		t.Errorf("r=5 and r=7 agree on %d/64 PACs", same)
+	}
+}
+
+func TestPACCacheTransparent(t *testing.T) {
+	// The memo cache must be semantically invisible: a long, repeated
+	// call pattern against one Authenticator (cache hits) must produce
+	// exactly the values a fresh Authenticator (all misses) computes.
+	keys := testKeys()
+	hot := New(keys, DefaultConfig())
+	rng := mrand.New(mrand.NewSource(11))
+	type q struct{ key KeyID; p, mod uint64 }
+	queries := make([]q, 512)
+	for i := range queries {
+		// Canonical pointers: AddPAC poisons non-canonical inputs, and
+		// this test wants the round trip to authenticate.
+		queries[i] = q{KeyID(rng.Intn(int(numKeys))), hot.Canonical(rng.Uint64() & 0x7FFF_FFFF_FFFF), rng.Uint64()}
+	}
+	// Two passes over the same queries: the second pass is all hits.
+	for pass := 0; pass < 2; pass++ {
+		for i, qu := range queries {
+			fresh := New(keys, DefaultConfig())
+			want := fresh.AddPAC(qu.key, qu.p, qu.mod)
+			if got := hot.AddPAC(qu.key, qu.p, qu.mod); got != want {
+				t.Fatalf("pass %d query %d: cached AddPAC %#x, fresh %#x", pass, i, got, want)
+			}
+			if res, ok := hot.Auth(qu.key, want, qu.mod); !ok || res != fresh.Canonical(qu.p) {
+				t.Fatalf("pass %d query %d: cached Auth diverged (ok=%v res=%#x)", pass, i, ok, res)
+			}
+		}
+	}
+}
+
+func TestPACCacheConcurrentUse(t *testing.T) {
+	// The Authenticator documents safety for concurrent use; hammer
+	// one instance from several goroutines over a colliding working
+	// set and check every result against an uncached reference. Run
+	// under -race via check.sh, this also proves the seqlock publishes
+	// entries safely.
+	keys := testKeys()
+	shared := New(keys, DefaultConfig())
+	ref := New(keys, DefaultConfig())
+	want := make([]uint64, 256)
+	for i := range want {
+		want[i] = ref.pacFor(KeyIA, ref.Canonical(uint64(i)*0x1001), uint64(i%7))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := mrand.New(mrand.NewSource(int64(g)))
+			for n := 0; n < 20_000; n++ {
+				i := rng.Intn(len(want))
+				got := shared.computePAC(KeyIA, uint64(i)*0x1001, uint64(i%7))
+				if got != want[i] {
+					errs[g] = fmt.Errorf("goroutine %d: computePAC(%d) = %#x, want %#x", g, i, got, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,104 @@
+// Package par is the experiment harness's bounded worker pool.
+//
+// Every experiment driver in this reproduction (workload suites,
+// attack tables, fault campaigns, the ConFIRM matrix) is a loop over
+// independent, individually seeded runs: each run builds its own
+// kernel, address space and authenticator from an explicit seed, so
+// runs share no mutable state and their results are pure functions of
+// their index. ForEach exploits exactly that shape — it fans the
+// indices out over GOMAXPROCS-bounded workers while callers write
+// results into index-addressed slots, so the merged output is
+// byte-identical to a serial loop regardless of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	mu      sync.Mutex
+	workers = runtime.GOMAXPROCS(0)
+)
+
+// Workers returns the current pool width.
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return workers
+}
+
+// SetWorkers overrides the pool width (n < 1 means 1) and returns a
+// function restoring the previous value. The determinism tests pin
+// the pool to one worker to compare serial and parallel output.
+func SetWorkers(n int) (restore func()) {
+	if n < 1 {
+		n = 1
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	prev := workers
+	workers = n
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		workers = prev
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n) over the worker pool and
+// blocks until all calls return. fn must be safe to call concurrently
+// for distinct indices; callers keep results deterministic by writing
+// only to the i-th slot of a pre-sized slice.
+func ForEach(n int, fn func(i int)) {
+	_ = ForEachErr(n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// ForEachErr is ForEach for body functions that can fail. All indices
+// run to completion; the returned error is the lowest-index failure,
+// which is the same error a serial loop that stops at the first
+// failure would report (runs are independent, so a run's error does
+// not depend on whether earlier runs executed).
+func ForEachErr(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 64} {
+		restore := SetWorkers(w)
+		const n = 100
+		var hits [n]atomic.Int64
+		ForEach(n, func(i int) { hits[i].Add(1) })
+		restore()
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, w := range []int{1, 4} {
+		restore := SetWorkers(w)
+		err := ForEachErr(10, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		restore()
+		if err != errA {
+			t.Fatalf("workers=%d: got %v, want lowest-index error %v", w, err, errA)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(0, func(int) { t.Fatal("fn called for n=0") })
+	if err := ForEachErr(0, func(int) error { return errors.New("x") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetWorkersRestores(t *testing.T) {
+	before := Workers()
+	restore := SetWorkers(before + 3)
+	if Workers() != before+3 {
+		t.Fatalf("override not applied")
+	}
+	restore()
+	if Workers() != before {
+		t.Fatalf("restore did not reset workers")
+	}
+}

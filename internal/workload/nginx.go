@@ -8,6 +8,7 @@ import (
 	"pacstack/internal/ir"
 	"pacstack/internal/kernel"
 	"pacstack/internal/pa"
+	"pacstack/internal/par"
 )
 
 // The NGINX SSL-TPS experiment (Section 7.2, Table 3). The paper
@@ -165,13 +166,20 @@ func Table3(cm cpu.CostModel, seed int64) ([]NginxResult, error) {
 		compile.SchemePACStack,
 	}
 	cfg := DefaultNginxConfig()
+	// One independent seeded measurement per scheme, fanned out over
+	// the worker pool and merged in scheme order.
+	measured := make([]float64, len(schemes))
+	err := par.ForEachErr(len(schemes), func(i int) error {
+		cpr, err := measureCyclesPerRequest(schemes[i], cfg, cm, seed)
+		measured[i] = cpr
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	cprs := map[compile.Scheme]float64{}
-	for _, s := range schemes {
-		cpr, err := measureCyclesPerRequest(s, cfg, cm, seed)
-		if err != nil {
-			return nil, err
-		}
-		cprs[s] = cpr
+	for i, s := range schemes {
+		cprs[s] = measured[i]
 	}
 	var out []NginxResult
 	for _, workers := range []int{4, 8} {

@@ -7,6 +7,7 @@ import (
 	"pacstack/internal/cpu"
 	"pacstack/internal/kernel"
 	"pacstack/internal/pa"
+	"pacstack/internal/par"
 	"pacstack/internal/stats"
 )
 
@@ -83,14 +84,22 @@ func RunBenchmarkCosts(b Benchmark, schemes []compile.Scheme, genCM, cm cpu.Cost
 }
 
 // RunSuite measures every benchmark under every scheme — the full
-// Figure 5 grid.
+// Figure 5 grid. Benchmarks fan out over the par worker pool: each
+// measurement boots its own seeded kernel, so runs are independent,
+// and results are merged in benchmark order, byte-identical to a
+// serial loop.
 func RunSuite(benchmarks []Benchmark, schemes []compile.Scheme, cm cpu.CostModel, seed int64) ([]Result, error) {
+	perBench := make([][]Result, len(benchmarks))
+	err := par.ForEachErr(len(benchmarks), func(i int) error {
+		rs, err := RunBenchmark(benchmarks[i], schemes, cm, seed)
+		perBench[i] = rs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Result
-	for _, b := range benchmarks {
-		rs, err := RunBenchmark(b, schemes, cm, seed)
-		if err != nil {
-			return nil, err
-		}
+	for _, rs := range perBench {
 		out = append(out, rs...)
 	}
 	return out, nil
