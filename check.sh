@@ -9,3 +9,14 @@ go build ./...
 go vet ./...
 go test -race ./...
 go test -run=NONE -bench=. -benchtime=1x ./...
+
+# Seeded chaos-soak smoke: a few seconds of virtual-time traffic with
+# ~10% fault injection against the serving layer, race detector on.
+# -check fails the gate on any silent corruption or a non-graceful end
+# (a request that never reached a terminal state); the double run plus
+# cmp enforces the byte-identical-report reproducibility criterion.
+SOAK_FLAGS="-clients 6 -requests 12 -seed 7 -chaos-rate 0.1 -heal 1"
+go run -race ./cmd/pacstack-soak $SOAK_FLAGS -check > /tmp/pacstack-soak-a.txt
+go run -race ./cmd/pacstack-soak $SOAK_FLAGS -check > /tmp/pacstack-soak-b.txt
+cmp /tmp/pacstack-soak-a.txt /tmp/pacstack-soak-b.txt
+rm -f /tmp/pacstack-soak-a.txt /tmp/pacstack-soak-b.txt

@@ -1,0 +1,116 @@
+// Command pacstack-serve is the resilient serving daemon: an HTTP/JSON
+// front end that executes sandboxed PACStack workloads per request on a
+// pool of supervised simulated kernels, with per-request deadlines,
+// bounded admission with load shedding, per-scheme circuit breaking,
+// panic isolation, and graceful drain on SIGTERM/SIGINT.
+//
+// With -chaos, the internal/fault injection engine is wired into live
+// traffic at -chaos-rate: a fraction of requests get a seeded
+// corruption (return-address overwrite, stack smash, signal-frame
+// tamper by default) armed inside their victim process. Detected
+// corruptions surface as typed 502s carrying the kernel post-mortem;
+// the daemon itself never dies.
+//
+// Endpoints:
+//
+//	POST /v1/run    {"workload":"chain","scheme":"pacstack","seed":7}
+//	GET  /v1/stats  counter snapshot (requests, detections, sheds, ...)
+//	GET  /healthz   200, or 503 once draining
+//
+// Usage:
+//
+//	pacstack-serve [-addr :8437] [-workers N] [-queue N] [-heal N]
+//	               [-seed N] [-timeout D] [-budget N]
+//	               [-chaos] [-chaos-rate F] [-chaos-kinds LIST]
+//	               [-breaker-threshold N] [-breaker-cooldown D]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pacstack/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pacstack-serve: ")
+	addr := flag.String("addr", ":8437", "listen address")
+	workers := flag.Int("workers", 4, "simultaneous request executions")
+	queue := flag.Int("queue", 0, "admission queue depth beyond the workers (0: 2*workers, <0: none)")
+	heal := flag.Int("heal", 0, "supervised respawns after a detected kill before surfacing the error")
+	seed := flag.Int64("seed", 1, "server entropy seed (kernel keys, chaos draws)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline (0: none)")
+	budget := flag.Uint64("budget", 0, "per-attempt instruction watchdog (0: derived from the golden run)")
+	chaos := flag.Bool("chaos", false, "inject seeded faults into live traffic")
+	chaosRate := flag.Float64("chaos-rate", 0.1, "per-attempt injection probability under -chaos")
+	chaosKinds := flag.String("chaos-kinds", "", "comma-separated kinds: bitflip, retaddr, smash, register, sigframe (default retaddr,smash,sigframe)")
+	brThreshold := flag.Int("breaker-threshold", 8, "consecutive backend failures that open a scheme's breaker (<0: disabled)")
+	brCooldown := flag.Duration("breaker-cooldown", 100*time.Millisecond, "how long an open breaker waits before probing")
+	drainWait := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	flag.Parse()
+
+	kinds, err := serve.ParseKinds(*chaosKinds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := serve.New(serve.Config{
+		Workers:          *workers,
+		Queue:            *queue,
+		Seed:             *seed,
+		Chaos:            *chaos,
+		ChaosRate:        *chaosRate,
+		ChaosKinds:       kinds,
+		Heal:             *heal,
+		Budget:           *budget,
+		Timeout:          *timeout,
+		BreakerThreshold: *brThreshold,
+		BreakerCooldown:  uint64(*brCooldown),
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (workers %d, queue %d, chaos %v, seed %d)",
+			*addr, s.Config().Workers, s.Config().Queue, *chaos, *seed)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("%s: draining", sig)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	// Graceful drain: stop admitting (healthz flips to 503 so load
+	// balancers stop routing here), let in-flight requests finish,
+	// then stop the listener and report the final counters.
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		log.Printf("drain incomplete: %v (%d in flight)", err, s.InFlight())
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	<-errc // ListenAndServe has returned ErrServerClosed
+
+	out, _ := json.MarshalIndent(s.Stats(), "", "  ")
+	log.Printf("final stats:\n%s", out)
+	if s.InFlight() != 0 {
+		log.Fatalf("exiting with %d requests still in flight", s.InFlight())
+	}
+	log.Printf("drained cleanly")
+}

@@ -1,0 +1,97 @@
+// Command pacstack-soak drives the deterministic chaos soak: a
+// discrete-event simulation of concurrent clients hammering the
+// serving layer (internal/serve) in virtual time, with seeded fault
+// injection, client retry/backoff, per-scheme circuit breaking and
+// bounded-queue load shedding. Request outcomes are precomputed on a
+// real parallel worker pool; the traffic replay is serial and
+// virtual-timed, so one seed produces a byte-identical report on any
+// machine — run it twice and diff.
+//
+// Usage:
+//
+//	pacstack-soak [-clients N] [-requests N] [-workload NAME]
+//	              [-schemes LIST] [-seed N] [-chaos-rate F]
+//	              [-chaos-kinds LIST] [-heal N] [-workers N] [-queue N]
+//	              [-retries N] [-breaker-threshold N] [-json] [-check]
+//
+// With -check, the exit status enforces the robustness acceptance
+// criteria: non-zero if any silent corruption was recorded or the run
+// was not graceful (some request never reached a terminal state).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"pacstack/internal/harness"
+	"pacstack/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pacstack-soak: ")
+	clients := flag.Int("clients", 8, "concurrent virtual clients")
+	requests := flag.Int("requests", 25, "requests per client")
+	workload := flag.String("workload", "chain", "workload name")
+	schemes := flag.String("schemes", "pacstack", "comma-separated scheme list; requests round-robin across it")
+	seed := flag.Int64("seed", 1, "soak seed (same seed, byte-identical report)")
+	chaosRate := flag.Float64("chaos-rate", 0.1, "per-attempt fault-injection probability")
+	chaosKinds := flag.String("chaos-kinds", "", "comma-separated kinds: bitflip, retaddr, smash, register, sigframe (default retaddr,smash,sigframe)")
+	heal := flag.Int("heal", 0, "supervised respawns per request after a detected kill")
+	workers := flag.Int("workers", 4, "modelled server workers")
+	queue := flag.Int("queue", 0, "modelled admission queue (0: 2*workers, <0: none)")
+	retries := flag.Int("retries", 3, "client retry budget for sheds and breaker denials")
+	brThreshold := flag.Int("breaker-threshold", 8, "breaker threshold in the traffic model (<0: disabled)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of the table")
+	check := flag.Bool("check", false, "exit non-zero on silent corruption or a non-graceful run")
+	flag.Parse()
+
+	kinds, err := serve.ParseKinds(*chaosKinds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := serve.Soak(context.Background(), serve.SoakConfig{
+		Clients:          *clients,
+		Requests:         *requests,
+		Workload:         *workload,
+		Schemes:          strings.Split(*schemes, ","),
+		Seed:             *seed,
+		ChaosRate:        *chaosRate,
+		ChaosKinds:       kinds,
+		Heal:             *heal,
+		Workers:          *workers,
+		Queue:            *queue,
+		Retries:          *retries,
+		BreakerThreshold: *brThreshold,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(harness.Soak(rep))
+	}
+
+	if *check {
+		if rep.Silent != 0 {
+			log.Printf("CHECK FAILED: %d silent corruption(s)", rep.Silent)
+			os.Exit(1)
+		}
+		if !rep.Graceful() {
+			log.Printf("CHECK FAILED: run not graceful (%d in flight, %d unaccounted)",
+				rep.InFlightAtEnd, rep.Issued-(rep.OK+rep.Detected+rep.Silent+rep.GaveUp))
+			os.Exit(1)
+		}
+	}
+}

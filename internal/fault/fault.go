@@ -306,12 +306,7 @@ func (e *Engine) boot(img *compile.Image, kernelSeed int64) (*kernel.Process, er
 	if err != nil {
 		return nil, err
 	}
-	switch img.Scheme {
-	case compile.SchemePACStack:
-		proc.FullFrameSigreturn = true
-	case compile.SchemePACStackNoMask:
-		proc.HardenedSigreturn = true
-	}
+	Harden(img.Scheme, proc)
 	return proc, nil
 }
 

@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/kernel"
+	"pacstack/internal/pa"
+)
+
+// liveRun boots one seeded process, arms one injection the way the
+// serving layer does, runs it, and classifies against the golden.
+func liveRun(t *testing.T, e *Engine, s compile.Scheme, seed int64, inj Injection) (Outcome, Cause, error) {
+	t.Helper()
+	img, err := e.Image(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(pa.DefaultConfig())
+	k.Seed(seed)
+	proc, err := img.Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Harden(s, proc)
+	rng := rand.New(rand.NewSource(seed))
+	if err := e.Arm(proc, s, inj, rng); err != nil {
+		t.Fatal(err)
+	}
+	_, _, instrs, err := e.Golden(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := proc.Run(4*instrs + 10_000)
+	return mustClassify(t, e, s, runErr, proc), causeOfRun(t, e, s, runErr, proc), runErr
+}
+
+func mustClassify(t *testing.T, e *Engine, s compile.Scheme, runErr error, proc *kernel.Process) Outcome {
+	t.Helper()
+	o, _, err := e.ClassifyRun(s, runErr, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func causeOfRun(t *testing.T, e *Engine, s compile.Scheme, runErr error, proc *kernel.Process) Cause {
+	t.Helper()
+	_, c, err := e.ClassifyRun(s, runErr, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestLiveInjectionDeterministic: the exported Arm/ClassifyRun path is
+// a pure function of (scheme, seed, injection) — the property the
+// serving layer's byte-identical soak reports rest on.
+func TestLiveInjectionDeterministic(t *testing.T) {
+	e := NewEngine(DefaultProgram())
+	inj := Injection{Kind: KindRetAddr, At: 120}
+	for seed := int64(1); seed <= 8; seed++ {
+		o1, c1, e1 := liveRun(t, e, compile.SchemePACStack, seed, inj)
+		o2, c2, e2 := liveRun(t, e, compile.SchemePACStack, seed, inj)
+		if o1 != o2 || c1 != c2 || (e1 == nil) != (e2 == nil) {
+			t.Fatalf("seed %d: same injection diverged: %v/%v/%v vs %v/%v/%v",
+				seed, o1, c1, e1, o2, c2, e2)
+		}
+	}
+}
+
+// TestLiveRetAddrInjectionDetectedByPACStack: live-armed return-
+// address overwrites against PACStack are never silent — they either
+// miss live state (benign) or die as typed detections, the guarantee
+// chaos mode in the serving layer surfaces as 502s.
+func TestLiveRetAddrInjectionDetectedByPACStack(t *testing.T) {
+	e := NewEngine(DefaultProgram())
+	_, _, instrs, err := e.Golden(compile.SchemePACStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := 0
+	for seed := int64(1); seed <= 30; seed++ {
+		at := uint64(seed*37) % instrs
+		o, c, _ := liveRun(t, e, compile.SchemePACStack, seed, Injection{Kind: KindRetAddr, At: at})
+		if o == OutcomeSilent {
+			t.Fatalf("seed %d at %d: silent corruption under PACStack", seed, at)
+		}
+		if o == OutcomeDetected {
+			detected++
+			if c == CauseNone {
+				t.Fatalf("seed %d: detected with no cause", seed)
+			}
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no injection was detected across 30 live runs")
+	}
+}
+
+func TestArmRejectsTasklessProcess(t *testing.T) {
+	e := NewEngine(DefaultProgram())
+	err := e.Arm(&kernel.Process{}, compile.SchemePACStack, Injection{Kind: KindBitFlip}, rand.New(rand.NewSource(1)))
+	if err == nil {
+		t.Fatal("Arm accepted a process with no tasks")
+	}
+}

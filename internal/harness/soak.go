@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"pacstack/internal/serve"
+)
+
+// Soak renders a chaos-soak report (internal/serve.Soak) as the
+// deterministic end-of-run summary cmd/pacstack-soak prints. The text
+// is a pure function of the report, so byte-identical reports render
+// byte-identically — check.sh diffs two runs of this output.
+func Soak(r *serve.SoakReport) string {
+	var b strings.Builder
+	b.WriteString("Chaos soak: seeded virtual-time traffic against the serving layer (internal/serve)\n")
+	fmt.Fprintf(&b, "seed %d | workload %s | schemes %s | %d clients x %d requests | chaos %.1f%% | heal %d\n",
+		r.Seed, r.Workload, strings.Join(r.Schemes, ","), r.Clients, r.PerClient, 100*r.ChaosRate, r.Heal)
+
+	fmt.Fprintf(&b, "\n%-26s %9s %8s %8s %8s %8s %8s\n",
+		"scheme", "requests", "ok", "healed", "detected", "silent", "gave-up")
+	for _, row := range r.PerScheme {
+		fmt.Fprintf(&b, "%-26s %9d %8d %8d %8d %8d %8d\n",
+			row.Scheme, row.Requests, row.OK, row.Healed, row.Detected, row.Silent, row.GaveUp)
+	}
+	fmt.Fprintf(&b, "%-26s %9d %8d %8d %8d %8d %8d\n",
+		"total", r.Issued, r.OK, r.Healed, r.Detected, r.Silent, r.GaveUp)
+
+	fmt.Fprintf(&b, "\ninjected faults %d | retries %d | sheds %d | breaker denied %d\n",
+		r.Injected, r.Retries, r.Sheds, r.BreakerDenied)
+	if len(r.Causes) > 0 {
+		parts := make([]string, 0, len(r.Causes))
+		for _, c := range r.Causes {
+			parts = append(parts, fmt.Sprintf("%s:%d", c.Scheme, c.Count))
+		}
+		fmt.Fprintf(&b, "detections by cause: %s\n", strings.Join(parts, " "))
+	}
+	if len(r.BreakerOpens) > 0 {
+		parts := make([]string, 0, len(r.BreakerOpens))
+		for _, c := range r.BreakerOpens {
+			parts = append(parts, fmt.Sprintf("%s:%d", c.Scheme, c.Count))
+		}
+		fmt.Fprintf(&b, "breaker opens: %s\n", strings.Join(parts, " "))
+	}
+
+	fmt.Fprintf(&b, "virtual cycles %d | in flight at end %d\n", r.VirtualCycles, r.InFlightAtEnd)
+	if r.Graceful() {
+		fmt.Fprintf(&b, "graceful: every request reached a terminal state (%d+%d+%d+%d = %d issued)\n",
+			r.OK, r.Detected, r.Silent, r.GaveUp, r.Issued)
+	} else {
+		fmt.Fprintf(&b, "NOT GRACEFUL: ok+detected+silent+gave-up = %d of %d issued, %d in flight\n",
+			r.OK+r.Detected+r.Silent+r.GaveUp, r.Issued, r.InFlightAtEnd)
+	}
+	return b.String()
+}

@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"pacstack/internal/serve"
+)
+
+func TestSoakRenderDeterministic(t *testing.T) {
+	cfg := serve.SoakConfig{Clients: 2, Requests: 4, Seed: 31, ChaosRate: 0.3}
+	r1, err := serve.Soak(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := serve.Soak(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := Soak(r1), Soak(r2)
+	if s1 != s2 {
+		t.Fatalf("renders diverged:\n%s\n---\n%s", s1, s2)
+	}
+	if !strings.Contains(s1, "graceful: every request reached a terminal state") {
+		t.Errorf("soak not graceful:\n%s", s1)
+	}
+	if !strings.Contains(s1, "pacstack") {
+		t.Errorf("missing scheme row:\n%s", s1)
+	}
+}

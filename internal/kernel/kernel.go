@@ -22,6 +22,7 @@
 package kernel
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -54,6 +55,11 @@ const Quantum = 64
 // ErrProcessKilled reports a security-relevant kill (failed sigreturn
 // validation).
 var ErrProcessKilled = errors.New("kernel: process killed")
+
+// ErrCancelled reports that RunCtx stopped because the caller's
+// context expired — a deadline or shutdown, not a machine fault. The
+// process is left alive and unkilled; no post-mortem is filed.
+var ErrCancelled = errors.New("kernel: run cancelled")
 
 // Kernel holds global configuration shared by all processes.
 type Kernel struct {
@@ -301,9 +307,25 @@ func (p *Process) Alive() bool {
 // faults (which kills the whole process, per the paper's crash-on-
 // failure assumption), or the instruction budget is exhausted.
 func (p *Process) Run(maxInstrs uint64) error {
+	return p.RunCtx(context.Background(), maxInstrs)
+}
+
+// RunCtx is Run with cooperative cancellation: between scheduler
+// quanta it checks the context and returns an error wrapping
+// ErrCancelled (and ctx.Err()) once the context is done. The serving
+// layer uses this for per-request wall-clock deadlines; the check
+// costs one non-blocking select per Quantum instructions, so
+// background-context callers pay nothing measurable.
+func (p *Process) RunCtx(ctx context.Context, maxInstrs uint64) error {
+	done := ctx.Done()
 	executed := uint64(0)
 	cur := 0
 	for p.Alive() {
+		select {
+		case <-done:
+			return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+		default:
+		}
 		if executed >= maxInstrs {
 			return cpu.ErrStepLimit
 		}

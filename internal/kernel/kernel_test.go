@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -389,6 +390,31 @@ spin:
 `)
 	if err := p.Run(500); !errors.Is(err, cpu.ErrStepLimit) {
 		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	p := boot(t, `
+spin:
+    b spin
+`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.RunCtx(ctx, 1<<30)
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping context.Canceled", err)
+	}
+	// Cancellation is the caller's deadline, not a machine fault: the
+	// process is abandoned alive, with no post-mortem filed.
+	if !p.Alive() {
+		t.Error("cancelled process marked dead")
+	}
+	if p.Kill != nil {
+		t.Errorf("cancellation filed a post-mortem: %v", p.Kill)
+	}
+	// A background context changes nothing: the budget still rules.
+	if err := p.RunCtx(context.Background(), 500); !errors.Is(err, cpu.ErrStepLimit) {
+		t.Errorf("err = %v, want step limit", err)
 	}
 }
 

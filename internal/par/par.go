@@ -12,6 +12,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -63,6 +64,17 @@ func ForEach(n int, fn func(i int)) {
 // failure would report (runs are independent, so a run's error does
 // not depend on whether earlier runs executed).
 func ForEachErr(n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, fn)
+}
+
+// ForEachCtx is ForEachErr with cooperative cancellation: once ctx is
+// done no further indices are dispatched, so a fan-out aborts promptly
+// on deadline or shutdown instead of grinding through the remaining
+// work. Indices already in flight run to completion (bodies that want
+// mid-run cancellation watch ctx themselves). The returned error is
+// the lowest-index body failure; if the fan-out was cut short and no
+// body failed, it is ctx.Err().
+func ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -72,6 +84,9 @@ func ForEachErr(n int, fn func(i int) error) error {
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -90,8 +105,16 @@ func ForEachErr(n int, fn func(i int) error) error {
 			}
 		}()
 	}
+	done := ctx.Done()
+	dispatched := n
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			dispatched = i
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -99,6 +122,9 @@ func ForEachErr(n int, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if dispatched < n {
+		return ctx.Err()
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -46,6 +47,64 @@ func TestForEachEmpty(t *testing.T) {
 	ForEach(0, func(int) { t.Fatal("fn called for n=0") })
 	if err := ForEachErr(0, func(int) error { return errors.New("x") }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForEachCtxStopsDispatchOnCancel(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		restore := SetWorkers(w)
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 10_000
+		err := ForEachCtx(ctx, n, func(i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		restore()
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+		// In-flight bodies complete but dispatch stops: far fewer than n
+		// indices run (at most the 5 triggering calls plus one per worker).
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: %d indices ran after cancellation", w, got)
+		}
+	}
+}
+
+func TestForEachCtxBodyErrorBeatsCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	restore := SetWorkers(4)
+	defer restore()
+	err := ForEachCtx(ctx, 100, func(i int) error {
+		if i == 2 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want the body error %v", err, boom)
+	}
+}
+
+func TestForEachCtxCompletedRunMatchesForEachErr(t *testing.T) {
+	var hits [50]atomic.Int64
+	if err := ForEachCtx(context.Background(), 50, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, hits[i].Load())
+		}
 	}
 }
 

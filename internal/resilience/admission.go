@@ -1,0 +1,135 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Admission is the bounded front door of a worker pool: at most
+// `workers` requests execute at once, at most `queue` more wait, and
+// everything beyond that is shed immediately (ErrShed — the HTTP layer
+// turns it into a 429). Close flips the door shut for graceful drain:
+// new arrivals get ErrDraining, waiters are rejected, and Drain blocks
+// until every admitted request has released its slot — the "no
+// in-flight request lost" half of a clean shutdown.
+type Admission struct {
+	workers int
+	queue   int64
+
+	slots   chan struct{} // counting semaphore: send = acquire
+	waiting atomic.Int64
+	sheds   atomic.Uint64
+	active  atomic.Int64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewAdmission returns an admission gate for a pool of the given
+// width and waiting-queue depth (both clamped to >= their minimum:
+// one worker, zero queue slots).
+func NewAdmission(workers, queue int) *Admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Admission{
+		workers: workers,
+		queue:   int64(queue),
+		slots:   make(chan struct{}, workers),
+		closed:  make(chan struct{}),
+	}
+}
+
+// Acquire admits one request: immediately when a worker slot is free,
+// after queueing when the pool is busy but the queue has room. It
+// returns ErrShed when the queue is full, ErrDraining once Close has
+// been called, and ctx.Err() if the caller's deadline expires while
+// queued. A nil return must be paired with exactly one Release.
+func (a *Admission) Acquire(ctx context.Context) error {
+	select {
+	case <-a.closed:
+		return ErrDraining
+	default:
+	}
+	// Fast path: free worker slot.
+	select {
+	case a.slots <- struct{}{}:
+		a.active.Add(1)
+		return nil
+	default:
+	}
+	// Queue, bounded: the number of goroutines blocked below is the
+	// queue occupancy.
+	if a.waiting.Add(1) > a.queue {
+		a.waiting.Add(-1)
+		a.sheds.Add(1)
+		return ErrShed
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.active.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-a.closed:
+		return ErrDraining
+	}
+}
+
+// Release frees the slot of one admitted request.
+func (a *Admission) Release() {
+	a.active.Add(-1)
+	<-a.slots
+}
+
+// InFlight returns how many admitted requests have not yet released.
+func (a *Admission) InFlight() int { return int(a.active.Load()) }
+
+// Queued returns the current queue occupancy.
+func (a *Admission) Queued() int { return int(a.waiting.Load()) }
+
+// Sheds returns how many requests have been load-shed.
+func (a *Admission) Sheds() uint64 { return a.sheds.Load() }
+
+// Close stops admitting: subsequent Acquires (and queued waiters)
+// fail with ErrDraining. Admitted requests are unaffected.
+func (a *Admission) Close() {
+	a.closeOnce.Do(func() { close(a.closed) })
+}
+
+// Closing reports whether Close has been called.
+func (a *Admission) Closing() bool {
+	select {
+	case <-a.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Drain closes admission and blocks until every in-flight request has
+// released (or ctx expires). It is idempotent and safe to call from
+// the shutdown path while handlers are still running.
+func (a *Admission) Drain(ctx context.Context) error {
+	a.Close()
+	for i := 0; i < a.workers; i++ {
+		select {
+		case a.slots <- struct{}{}:
+		case <-ctx.Done():
+			// Give back what we took so a later Drain can retry.
+			for ; i > 0; i-- {
+				<-a.slots
+			}
+			return ctx.Err()
+		}
+	}
+	for i := 0; i < a.workers; i++ {
+		<-a.slots
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package resilience
+
+import "math/rand"
+
+// Backoff produces an exponential backoff schedule with equal jitter:
+// the delay before retry attempt n (0-based) is drawn uniformly from
+// [d/2, d] where d = min(Base<<n, Cap). The doubling is clamped so
+// arbitrarily large attempt counts cannot shift-overflow (the same
+// hazard supervise.Policy clamps for restart counts past 63).
+//
+// A Backoff is seeded and deterministic: one seed fixes the entire
+// jitter stream, in draw order. It is not safe for concurrent use —
+// give each client/goroutine its own (the soak simulator keys one per
+// virtual client, which is what makes retry schedules replayable).
+type Backoff struct {
+	// Base is the nominal delay before the first retry; Cap bounds the
+	// doubled delays. Units are the caller's (nanoseconds under wall
+	// clock, simulated cycles in the soak). Base == 0 disables delays.
+	Base, Cap uint64
+
+	rng *rand.Rand
+}
+
+// NewBackoff returns a seeded backoff schedule. cap == 0 means
+// "no cap" (clamped only against overflow).
+func NewBackoff(base, cap uint64, seed int64) *Backoff {
+	return &Backoff{Base: base, Cap: cap, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the jittered delay before retry attempt n (0-based).
+// It always consumes exactly one rng draw, so the stream stays aligned
+// across calls regardless of clamping.
+func (b *Backoff) Delay(attempt int) uint64 {
+	jitter := b.rng.Int63()
+	if b.Base == 0 {
+		return 0
+	}
+	d := b.Base
+	for i := 0; i < attempt; i++ {
+		if d >= 1<<63 || (b.Cap != 0 && d >= b.Cap) {
+			break // doubling further would overflow or exceed the cap
+		}
+		d <<= 1
+	}
+	if b.Cap != 0 && d > b.Cap {
+		d = b.Cap
+	}
+	// Equal jitter: half fixed, half uniform — retries spread out but
+	// never collapse below d/2.
+	half := d / 2
+	if half == 0 {
+		return d
+	}
+	return half + uint64(jitter)%(d-half+1)
+}

@@ -1,0 +1,148 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BreakerState is the circuit-breaker state machine position.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is failed fast until the cooldown expires.
+	BreakerOpen
+	// BreakerHalfOpen: a limited number of probe requests are let
+	// through; one success closes the breaker, one failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// BreakerConfig parameterises a Breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens the
+	// breaker. Values < 1 are treated as 1.
+	Threshold int
+	// Cooldown is how long the breaker stays open before letting
+	// probes through, in the caller's time units (nanoseconds under
+	// wall clock, simulated cycles in the soak).
+	Cooldown uint64
+	// HalfOpenProbes is how many concurrent probes half-open admits;
+	// 0 means 1.
+	HalfOpenProbes int
+}
+
+// Breaker is a per-backend circuit breaker. It holds no clock: every
+// transition is driven by the `now` argument of Allow and Record, so
+// the identical state machine serves wall-clock traffic in the daemon
+// and virtual-time traffic in the deterministic soak simulator.
+// All methods are safe for concurrent use.
+type Breaker struct {
+	mu     sync.Mutex
+	cfg    BreakerConfig
+	state  BreakerState
+	fails  int    // consecutive failures while closed
+	until  uint64 // when the open cooldown expires
+	probes int    // probes granted since entering half-open
+	opens  uint64 // cumulative closed/half-open -> open transitions
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold < 1 {
+		cfg.Threshold = 1
+	}
+	if cfg.HalfOpenProbes < 1 {
+		cfg.HalfOpenProbes = 1
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a request may proceed at time now. In the
+// open state it transitions to half-open once the cooldown has
+// expired; in half-open it grants up to HalfOpenProbes probes.
+func (b *Breaker) Allow(now uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now < b.until {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probes = 0
+		fallthrough
+	default: // half-open
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return false
+		}
+		b.probes++
+		return true
+	}
+}
+
+// Record reports the outcome of a request that Allow admitted. A
+// failure while closed counts toward Threshold; any failure while
+// half-open re-opens immediately. A success closes a half-open breaker
+// and resets the failure run.
+func (b *Breaker) Record(now uint64, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = BreakerClosed
+		b.fails = 0
+		return
+	}
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.open(now)
+		}
+	case BreakerHalfOpen:
+		b.open(now)
+	case BreakerOpen:
+		// A straggler from before the breaker opened; nothing to do.
+	}
+}
+
+// open transitions to the open state. Callers hold b.mu.
+func (b *Breaker) open(now uint64) {
+	b.state = BreakerOpen
+	b.until = now + b.cfg.Cooldown
+	b.fails = 0
+	b.opens++
+}
+
+// State returns the current state as of time now (an open breaker
+// whose cooldown has expired reads as half-open).
+func (b *Breaker) State(now uint64) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && now >= b.until {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Opens returns how many times the breaker has opened.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

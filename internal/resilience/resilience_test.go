@@ -1,0 +1,210 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicAndClamped(t *testing.T) {
+	a := NewBackoff(100, 10_000, 42)
+	b := NewBackoff(100, 10_000, 42)
+	for n := 0; n < 200; n++ {
+		da, db := a.Delay(n), b.Delay(n)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %d vs %d", n, da, db)
+		}
+		if da < 50 || da > 10_000 {
+			t.Fatalf("attempt %d: delay %d outside [base/2, cap]", n, da)
+		}
+	}
+	// Attempt numbers far past 63 must not shift-overflow back to tiny
+	// delays — with no cap the delay saturates instead of wrapping.
+	uncapped := NewBackoff(3, 0, 1)
+	if d := uncapped.Delay(200); d < 1<<62 {
+		t.Fatalf("attempt 200 uncapped delay %d collapsed (shift overflow)", d)
+	}
+}
+
+func TestBackoffZeroBase(t *testing.T) {
+	b := NewBackoff(0, 0, 1)
+	for n := 0; n < 5; n++ {
+		if d := b.Delay(n); d != 0 {
+			t.Fatalf("zero-base delay = %d, want 0", d)
+		}
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	br := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 100})
+	now := uint64(1000)
+	for i := 0; i < 3; i++ {
+		if !br.Allow(now) {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		br.Record(now, false)
+	}
+	if br.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", br.Opens())
+	}
+	if br.Allow(now + 50) {
+		t.Fatal("open breaker admitted during cooldown")
+	}
+	// Cooldown expiry: exactly one probe goes through half-open.
+	if !br.Allow(now + 100) {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	if br.Allow(now + 100) {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+	// Probe failure re-opens; probe success closes.
+	br.Record(now+100, false)
+	if br.Opens() != 2 || br.Allow(now+150) {
+		t.Fatalf("failed probe did not re-open (opens=%d)", br.Opens())
+	}
+	if !br.Allow(now + 300) {
+		t.Fatal("second half-open probe denied")
+	}
+	br.Record(now+300, true)
+	if st := br.State(now + 300); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	for i := 0; i < 10; i++ {
+		if !br.Allow(now + 301) {
+			t.Fatal("closed breaker denied after recovery")
+		}
+		br.Record(now+301, true)
+	}
+}
+
+func TestAdmissionShedsBeyondQueue(t *testing.T) {
+	a := NewAdmission(1, 1)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Pool busy: one waiter fits the queue, the next is shed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queued := make(chan error, 1)
+	go func() { queued <- a.Acquire(ctx) }()
+	for a.Queued() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.Acquire(ctx); !errors.Is(err, ErrShed) {
+		t.Fatalf("overflow Acquire = %v, want ErrShed", err)
+	}
+	if a.Sheds() != 1 {
+		t.Fatalf("sheds = %d, want 1", a.Sheds())
+	}
+	// Releasing hands the slot to the waiter.
+	a.Release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued Acquire = %v, want nil", err)
+	}
+	a.Release()
+	if a.InFlight() != 0 {
+		t.Fatalf("inflight = %d, want 0", a.InFlight())
+	}
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	a := NewAdmission(2, 4)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	drained := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		drained <- a.Drain(context.Background())
+	}()
+	for !a.Closing() {
+		time.Sleep(time.Millisecond)
+	}
+	// Draining: new arrivals are refused, not shed.
+	if err := a.Acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Acquire while draining = %v, want ErrDraining", err)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with a request in flight", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	a.Release()
+	wg.Wait()
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain = %v", err)
+	}
+	if a.InFlight() != 0 {
+		t.Fatalf("inflight after drain = %d", a.InFlight())
+	}
+}
+
+func TestAdmissionQueuedWaiterRespectsDeadline(t *testing.T) {
+	a := NewAdmission(1, 2)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := a.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Acquire = %v, want deadline exceeded", err)
+	}
+}
+
+func TestProtectIsolatesPanics(t *testing.T) {
+	err := Protect(func() error { panic("request handler exploded") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+	if err := Protect(func() error { return nil }); err != nil {
+		t.Fatalf("clean fn returned %v", err)
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	permanent := errors.New("bad request")
+	calls := 0
+	attempts, err := RetryPolicy{
+		Max:       5,
+		Retryable: func(err error) bool { return !errors.Is(err, permanent) },
+		Sleep:     func(context.Context, uint64) error { return nil },
+	}.Do(context.Background(), func(int) error { calls++; return permanent })
+	if !errors.Is(err, permanent) || attempts != 1 || calls != 1 {
+		t.Fatalf("attempts=%d calls=%d err=%v, want 1/1/permanent", attempts, calls, err)
+	}
+}
+
+func TestRetryEventuallySucceeds(t *testing.T) {
+	failures := 3
+	attempts, err := RetryPolicy{
+		Max:     5,
+		Backoff: NewBackoff(1, 4, 7),
+		Sleep:   func(context.Context, uint64) error { return nil },
+	}.Do(context.Background(), func(n int) error {
+		if n < failures {
+			return ErrShed
+		}
+		return nil
+	})
+	if err != nil || attempts != failures+1 {
+		t.Fatalf("attempts=%d err=%v, want %d/nil", attempts, err, failures+1)
+	}
+}
+
+func TestRetryHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attempts, err := RetryPolicy{Max: 5, Sleep: wallSleep}.Do(ctx, func(int) error { return ErrShed })
+	if !errors.Is(err, context.Canceled) || attempts != 1 {
+		t.Fatalf("attempts=%d err=%v, want 1/context.Canceled", attempts, err)
+	}
+}

@@ -1,0 +1,69 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// RetryPolicy drives a retry loop around a fallible operation.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt; the
+	// operation runs at most Max+1 times.
+	Max int
+	// Backoff supplies the delay before each retry; nil means no delay.
+	Backoff *Backoff
+	// Retryable reports whether an error is worth retrying; nil means
+	// every error is. Permanent errors (bad request, detected
+	// corruption) should return false so the loop fails fast.
+	Retryable func(error) bool
+	// Sleep waits for d units before the next attempt; nil means a
+	// wall-clock sleep interpreting d as nanoseconds. The soak's
+	// virtual-time harness substitutes its own.
+	Sleep func(ctx context.Context, d uint64) error
+}
+
+// Do runs fn until it succeeds, exhausts the retry budget, hits a
+// non-retryable error, or the context is cancelled. It returns the
+// number of attempts made and the final error (nil on success).
+func (p RetryPolicy) Do(ctx context.Context, fn func(attempt int) error) (attempts int, err error) {
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = wallSleep
+	}
+	for n := 0; ; n++ {
+		attempts = n + 1
+		err = fn(n)
+		if err == nil || n >= p.Max {
+			return attempts, err
+		}
+		if p.Retryable != nil && !p.Retryable(err) {
+			return attempts, err
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return attempts, err
+		}
+		var d uint64
+		if p.Backoff != nil {
+			d = p.Backoff.Delay(n)
+		}
+		if serr := sleep(ctx, d); serr != nil {
+			return attempts, serr
+		}
+	}
+}
+
+// wallSleep waits d nanoseconds or until ctx is done.
+func wallSleep(ctx context.Context, d uint64) error {
+	if d == 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(time.Duration(d))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,124 @@
+// HTTP/JSON surface: POST /v1/run executes one workload, GET /v1/stats
+// exposes the counter snapshot, GET /healthz flips to 503 once draining
+// so load balancers stop routing here during shutdown. Every typed
+// failure of the pipeline maps to a distinct status code — the point is
+// that a client can tell "your request found a corrupted victim" (502)
+// from "we are overloaded, back off" (429) from "we are going away"
+// (503) without parsing prose.
+
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"pacstack/internal/resilience"
+)
+
+// maxBodyBytes bounds the request body; run requests are tiny.
+const maxBodyBytes = 1 << 16
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	// Kind is the machine-readable failure class: shed, draining,
+	// breaker_open, deadline, detected_corruption, silent_corruption,
+	// panic, bad_request, internal.
+	Kind string `json:"kind"`
+	// Cause carries the kernel's detection cause on 502s (auth,
+	// segfault, cfi, canary, sigreturn, watchdog, other).
+	Cause    string `json:"cause,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Kill     string `json:"kill,omitempty"`
+}
+
+// statusOf maps a pipeline error to its HTTP status and error body.
+func statusOf(err error) (int, errorBody) {
+	var ce *CorruptionError
+	var se *SilentCorruptionError
+	var pe *resilience.PanicError
+	var bre *BadRequestError
+	switch {
+	case errors.As(err, &bre):
+		return http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"}
+	case errors.Is(err, resilience.ErrShed):
+		return http.StatusTooManyRequests, errorBody{Error: err.Error(), Kind: "shed"}
+	case errors.Is(err, resilience.ErrDraining):
+		return http.StatusServiceUnavailable, errorBody{Error: err.Error(), Kind: "draining"}
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		return http.StatusServiceUnavailable, errorBody{Error: err.Error(), Kind: "breaker_open"}
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, errorBody{Error: err.Error(), Kind: "deadline"}
+	case errors.As(err, &ce):
+		body := errorBody{Error: err.Error(), Kind: "detected_corruption", Cause: ce.Cause.String(), Attempts: ce.Attempts}
+		if ce.Kill != nil {
+			body.Kill = ce.Kill.String()
+		}
+		return http.StatusBadGateway, body
+	case errors.As(err, &se):
+		return http.StatusInternalServerError, errorBody{Error: err.Error(), Kind: "silent_corruption"}
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError, errorBody{Error: err.Error(), Kind: "panic"}
+	default:
+		return http.StatusInternalServerError, errorBody{Error: err.Error(), Kind: "internal"}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Handler returns the server's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed request: " + err.Error(), Kind: "bad_request"})
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+
+	res, err := s.Do(ctx, req)
+	if err != nil {
+		status, body := statusOf(err)
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

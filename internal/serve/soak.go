@@ -1,0 +1,491 @@
+// Deterministic soak: a discrete-event simulation of concurrent
+// clients hammering the serving pipeline in virtual time (simulated
+// cycles). The trick that reconciles "concurrent traffic" with
+// "byte-identical reports" is a two-phase design:
+//
+//  1. Outcomes are pure functions of request identity. Each (client,
+//     request) pair gets a private seed derived from the soak seed, so
+//     its kernel keys, chaos draws and classification do not depend on
+//     scheduling. Phase one precomputes them all on a real parallel
+//     worker pool (internal/par) — this is where wall-clock concurrency
+//     lives.
+//  2. The traffic dynamics — queueing, shedding, breaker trips, client
+//     retry/backoff — replay serially through an event heap keyed
+//     (time, seq), driving the *same* clock-free resilience state
+//     machines (resilience.Breaker, resilience.Backoff) the daemon
+//     uses, just fed virtual time instead of nanoseconds.
+//
+// Same seed and knobs in, byte-identical SoakReport out, regardless of
+// GOMAXPROCS or machine — which is what lets check.sh diff two runs.
+
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"pacstack/internal/fault"
+	"pacstack/internal/par"
+	"pacstack/internal/resilience"
+)
+
+// SoakConfig parameterises a soak run. Time-valued knobs are in
+// simulated cycles.
+type SoakConfig struct {
+	// Clients virtual clients each issue Requests requests
+	// back-to-back (with think time), retrying on shed/breaker
+	// rejections. Defaults 8 and 25.
+	Clients  int
+	Requests int
+
+	// Workload and Schemes select what runs; requests round-robin
+	// across the schemes per client. Defaults: "chain", ["pacstack"].
+	Workload string
+	Schemes  []string
+
+	// Seed fixes everything; same seed, same report. Default 1.
+	Seed int64
+
+	// Chaos injection knobs, as in Config.
+	ChaosRate  float64
+	ChaosKinds []fault.Kind
+	Heal       int
+
+	// Server model: Workers simultaneous executions, Queue waiters,
+	// everything beyond shed. Defaults 4 and 8.
+	Workers int
+	Queue   int
+
+	// Retries is the per-request client retry budget for *rejections*
+	// (sheds, breaker denials); execution outcomes are terminal.
+	// Default 3. BackoffBase/BackoffCap shape the retry delays
+	// (defaults 2_000 / 64_000 cycles).
+	Retries     int
+	BackoffBase uint64
+	BackoffCap  uint64
+
+	// BreakerThreshold/BreakerCooldown configure the per-scheme
+	// breaker in virtual time (defaults 8 / 50_000 cycles);
+	// Threshold < 0 disables it.
+	BreakerThreshold int
+	BreakerCooldown  uint64
+
+	// Think is the mean inter-request think time per client; Overhead
+	// is fixed per-execution service latency added to the victim's
+	// simulated cycles. Defaults 1_000 and 500.
+	Think    uint64
+	Overhead uint64
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 25
+	}
+	if c.Workload == "" {
+		c.Workload = "chain"
+	}
+	if len(c.Schemes) == 0 {
+		c.Schemes = []string{"pacstack"}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.ChaosKinds) == 0 {
+		c.ChaosKinds = []fault.Kind{fault.KindRetAddr, fault.KindStackSmash, fault.KindSigFrame}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Queue == 0 {
+		c.Queue = 2 * c.Workers
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 2_000
+	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = 64_000
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 8
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 50_000
+	}
+	if c.Think == 0 {
+		c.Think = 1_000
+	}
+	if c.Overhead == 0 {
+		c.Overhead = 500
+	}
+	return c
+}
+
+// SchemeCount pairs a scheme name with a counter, kept as a sorted
+// slice (not a map) so the report marshals identically every run.
+type SchemeCount struct {
+	Scheme string `json:"scheme"`
+	Count  uint64 `json:"count"`
+}
+
+// SoakRow is the per-scheme outcome breakdown.
+type SoakRow struct {
+	Scheme   string `json:"scheme"`
+	Requests int    `json:"requests"`
+	OK       int    `json:"ok"`
+	Healed   int    `json:"healed"`
+	Detected int    `json:"detected"`
+	Silent   int    `json:"silent"`
+	GaveUp   int    `json:"gave_up"`
+}
+
+// SoakReport is the deterministic end-of-run summary. For one seed and
+// knob set it is byte-identical across runs and machines.
+type SoakReport struct {
+	Seed      int64    `json:"seed"`
+	Workload  string   `json:"workload"`
+	Schemes   []string `json:"schemes"`
+	Clients   int      `json:"clients"`
+	PerClient int      `json:"requests_per_client"`
+	ChaosRate float64  `json:"chaos_rate"`
+	Heal      int      `json:"heal"`
+
+	Issued   int `json:"issued"`
+	OK       int `json:"ok"`
+	Healed   int `json:"healed"`
+	Detected int `json:"detected"`
+	Silent   int `json:"silent"`
+	GaveUp   int `json:"gave_up"`
+
+	ByCause [fault.NumCauses]int `json:"-"`
+	// Causes is ByCause in stable, name-keyed, zero-suppressed form.
+	Causes []SchemeCount `json:"detected_by_cause,omitempty"`
+
+	Injected      int           `json:"injected_faults"`
+	Retries       int           `json:"retries"`
+	Sheds         int           `json:"sheds"`
+	BreakerDenied int           `json:"breaker_denied"`
+	BreakerOpens  []SchemeCount `json:"breaker_opens,omitempty"`
+
+	PerScheme []SoakRow `json:"per_scheme"`
+
+	VirtualCycles uint64 `json:"virtual_cycles"`
+	InFlightAtEnd int    `json:"in_flight_at_end"`
+}
+
+// Graceful reports whether the run ended cleanly: every issued request
+// reached a terminal state and nothing was left in flight. The
+// accounting identity OK+Detected+Silent+GaveUp == Issued is the "no
+// request lost" check.
+func (r *SoakReport) Graceful() bool {
+	return r.InFlightAtEnd == 0 && r.OK+r.Detected+r.Silent+r.GaveUp == r.Issued
+}
+
+// soakOutcome is one precomputed request execution result.
+type soakOutcome struct {
+	class    int // 0 ok, 1 detected, 2 silent
+	cause    fault.Cause
+	cycles   uint64
+	healed   bool
+	injected int
+}
+
+const (
+	classOK = iota
+	classDetected
+	classSilent
+)
+
+// event kinds for the virtual-time replay.
+const (
+	evIssue = iota // client (re)submits a request
+	evDone         // a worker finishes an execution
+)
+
+type event struct {
+	at      uint64
+	seq     int // tiebreak: FIFO among simultaneous events
+	kind    int
+	client  int
+	req     int // request index within the client
+	attempt int // submission attempt (evIssue only)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Soak runs the simulation. ctx bounds the (parallel) precompute
+// phase; the serial replay is fast and not cancellable.
+func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
+	cfg = cfg.withDefaults()
+
+	for _, name := range cfg.Schemes {
+		if _, err := ParseScheme(name); err != nil {
+			return nil, err
+		}
+	}
+
+	// The executing server: admission is irrelevant here (the DES
+	// models queueing itself), so requests go straight to execute via
+	// Do-with-wide-limits. Breakers are disabled on this inner server;
+	// the DES drives its own virtual-time breaker.
+	srv := New(Config{
+		Workers:          cfg.Clients + 1, // never shed in the precompute phase
+		Queue:            cfg.Clients * cfg.Requests,
+		Seed:             cfg.Seed,
+		Chaos:            cfg.ChaosRate > 0,
+		ChaosRate:        cfg.ChaosRate,
+		ChaosKinds:       cfg.ChaosKinds,
+		Heal:             cfg.Heal,
+		BreakerThreshold: -1,
+	})
+	if _, err := srv.engine(cfg.Workload); err != nil {
+		return nil, err
+	}
+
+	// Phase 1: precompute every request's execution outcome in
+	// parallel. Request identity (client, req) fixes the seed, so the
+	// pool's scheduling cannot leak into the results.
+	total := cfg.Clients * cfg.Requests
+	outcomes := make([]soakOutcome, total)
+	err := par.ForEachCtx(ctx, total, func(id int) error {
+		client, reqIdx := id/cfg.Requests, id%cfg.Requests
+		schemeName := cfg.Schemes[reqIdx%len(cfg.Schemes)]
+		reqSeed := mix(int64(client)+0x5f, int64(reqIdx)+1)
+		if reqSeed == 0 {
+			reqSeed = 1 // zero means "server picks"; keep identity-addressed
+		}
+		req := Request{
+			Workload: cfg.Workload,
+			Scheme:   schemeName,
+			Seed:     reqSeed,
+		}
+		res, err := srv.Do(context.Background(), req)
+		switch {
+		case err == nil:
+			outcomes[id] = soakOutcome{
+				class: classOK, cycles: res.Cycles,
+				healed: res.Healed, injected: res.Injected,
+			}
+		default:
+			var ce *CorruptionError
+			var se *SilentCorruptionError
+			switch {
+			case errors.As(err, &ce):
+				outcomes[id] = soakOutcome{
+					class: classDetected, cause: ce.Cause,
+					cycles: ce.Cycles, injected: ce.Injected,
+				}
+			case errors.As(err, &se):
+				outcomes[id] = soakOutcome{class: classSilent, cycles: se.Cycles}
+			default:
+				return fmt.Errorf("soak precompute (client %d, request %d): %w", client, reqIdx, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: serial virtual-time replay of the traffic dynamics.
+	rep := &SoakReport{
+		Seed: cfg.Seed, Workload: cfg.Workload, Schemes: cfg.Schemes,
+		Clients: cfg.Clients, PerClient: cfg.Requests,
+		ChaosRate: cfg.ChaosRate, Heal: cfg.Heal,
+	}
+
+	var breakers map[string]*resilience.Breaker
+	if cfg.BreakerThreshold > 0 {
+		breakers = make(map[string]*resilience.Breaker, len(cfg.Schemes))
+		for _, name := range cfg.Schemes {
+			if _, ok := breakers[name]; !ok {
+				breakers[name] = resilience.NewBreaker(resilience.BreakerConfig{
+					Threshold: cfg.BreakerThreshold,
+					Cooldown:  cfg.BreakerCooldown,
+				})
+			}
+		}
+	}
+	backoffs := make([]*resilience.Backoff, cfg.Clients)
+	thinks := make([]*rand.Rand, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		backoffs[c] = resilience.NewBackoff(cfg.BackoffBase, cfg.BackoffCap, mix(cfg.Seed, int64(c)+0x1001))
+		thinks[c] = rand.New(rand.NewSource(mix(cfg.Seed, int64(c)+0x2002)))
+	}
+	think := func(c int) uint64 {
+		// uniform in [Think/2, Think], per-client stream
+		half := cfg.Think / 2
+		return half + uint64(thinks[c].Int63n(int64(cfg.Think-half+1)))
+	}
+
+	rows := make(map[string]*SoakRow, len(cfg.Schemes))
+	rowOrder := []string{}
+	row := func(name string) *SoakRow {
+		r, ok := rows[name]
+		if !ok {
+			r = &SoakRow{Scheme: name}
+			rows[name] = r
+			rowOrder = append(rowOrder, name)
+		}
+		return r
+	}
+	schemeOf := func(reqIdx int) string { return cfg.Schemes[reqIdx%len(cfg.Schemes)] }
+
+	h := &eventHeap{}
+	seq := 0
+	push := func(at uint64, kind, client, req, attempt int) {
+		heap.Push(h, event{at: at, seq: seq, kind: kind, client: client, req: req, attempt: attempt})
+		seq++
+	}
+
+	busy := 0
+	type queued struct {
+		client, req int
+	}
+	var fifo []queued
+	now := uint64(0)
+
+	// start: every client issues its first request after one think.
+	for c := 0; c < cfg.Clients; c++ {
+		push(think(c), evIssue, c, 0, 0)
+	}
+
+	outcomeOf := func(client, req int) soakOutcome { return outcomes[client*cfg.Requests+req] }
+
+	startService := func(client, req int) {
+		busy++
+		o := outcomeOf(client, req)
+		push(now+cfg.Overhead+o.cycles, evDone, client, req, 0)
+	}
+	nextRequest := func(client, req int) {
+		if req+1 < cfg.Requests {
+			push(now+think(client), evIssue, client, req+1, 0)
+		}
+	}
+	var terminal func(client, req int)
+	retryOrGiveUp := func(client, req, attempt int) {
+		if attempt >= cfg.Retries {
+			rep.GaveUp++
+			row(schemeOf(req)).GaveUp++
+			row(schemeOf(req)).Requests++
+			terminal(client, req)
+			return
+		}
+		rep.Retries++
+		push(now+backoffs[client].Delay(attempt), evIssue, client, req, attempt+1)
+	}
+	terminal = func(client, req int) { nextRequest(client, req) }
+
+	for h.Len() > 0 {
+		e := heap.Pop(h).(event)
+		now = e.at
+		switch e.kind {
+		case evIssue:
+			name := schemeOf(e.req)
+			if br := breakers[name]; br != nil && !br.Allow(now) {
+				rep.BreakerDenied++
+				retryOrGiveUp(e.client, e.req, e.attempt)
+				continue
+			}
+			if busy < cfg.Workers {
+				startService(e.client, e.req)
+			} else if len(fifo) < cfg.Queue {
+				fifo = append(fifo, queued{e.client, e.req})
+			} else {
+				rep.Sheds++
+				retryOrGiveUp(e.client, e.req, e.attempt)
+			}
+		case evDone:
+			busy--
+			o := outcomeOf(e.client, e.req)
+			name := schemeOf(e.req)
+			r := row(name)
+			r.Requests++
+			rep.Injected += o.injected
+			switch o.class {
+			case classOK:
+				rep.OK++
+				r.OK++
+				if o.healed {
+					rep.Healed++
+					r.Healed++
+				}
+			case classDetected:
+				rep.Detected++
+				rep.ByCause[o.cause]++
+				r.Detected++
+			case classSilent:
+				rep.Silent++
+				r.Silent++
+			}
+			if br := breakers[name]; br != nil {
+				br.Record(now, o.class == classOK)
+			}
+			if len(fifo) > 0 {
+				q := fifo[0]
+				fifo = fifo[1:]
+				startService(q.client, q.req)
+			}
+			terminal(e.client, e.req)
+		}
+	}
+
+	// Every request reaches exactly one terminal state (done or gave
+	// up) before its client moves on, so the issued total is exact.
+	rep.Issued = cfg.Clients * cfg.Requests
+
+	rep.VirtualCycles = now
+	rep.InFlightAtEnd = busy + len(fifo)
+	for c := 0; c < fault.NumCauses; c++ {
+		if rep.ByCause[c] > 0 {
+			rep.Causes = append(rep.Causes, SchemeCount{Scheme: fault.Cause(c).String(), Count: uint64(rep.ByCause[c])})
+		}
+	}
+	if breakers != nil {
+		for _, name := range cfg.Schemes {
+			br := breakers[name]
+			if br == nil {
+				continue
+			}
+			if n := br.Opens(); n > 0 {
+				rep.BreakerOpens = append(rep.BreakerOpens, SchemeCount{Scheme: name, Count: n})
+			}
+			delete(breakers, name) // cfg.Schemes may repeat a name
+		}
+	}
+	for _, name := range rowOrder {
+		rep.PerScheme = append(rep.PerScheme, *rows[name])
+	}
+	return rep, nil
+}

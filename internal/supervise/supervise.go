@@ -17,6 +17,7 @@
 package supervise
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -75,6 +76,15 @@ func (pol Policy) backoff(restart int) uint64 {
 	}
 	d := pol.BackoffBase
 	for i := 0; i < restart && d < pol.BackoffCap; i++ {
+		if d >= 1<<63 {
+			// Doubling again would shift the top bit out and wrap the
+			// delay back toward zero; saturate at the cap instead. A
+			// restart count past 63 must never yield a shorter delay
+			// than restart 63 did — the attacker would love free
+			// incarnations late in a brute-force campaign.
+			d = pol.BackoffCap
+			break
+		}
 		d <<= 1
 	}
 	if pol.BackoffCap != 0 && d > pol.BackoffCap {
@@ -160,6 +170,17 @@ func (s *Supervisor) next() (*kernel.Process, error) {
 // nil on clean exit and wraps ErrRestartsExhausted otherwise. Every
 // attempt, successful or not, is appended to s.Attempts.
 func (s *Supervisor) Run(mutate func(attempt int, p *kernel.Process)) (*kernel.Process, error) {
+	return s.RunCtx(context.Background(), mutate)
+}
+
+// RunCtx is Run under a context: each attempt executes with
+// kernel.Process.RunCtx, and a cancelled context ends the supervision
+// loop after the in-flight attempt instead of burning the remaining
+// restart budget. The cancelled attempt is still logged to s.Attempts;
+// the returned error wraps kernel.ErrCancelled (not
+// ErrRestartsExhausted — cancellation is the caller's deadline, not a
+// crash verdict).
+func (s *Supervisor) RunCtx(ctx context.Context, mutate func(attempt int, p *kernel.Process)) (*kernel.Process, error) {
 	budget := s.Policy.Budget
 	if budget == 0 {
 		budget = 1 << 20
@@ -180,8 +201,8 @@ func (s *Supervisor) Run(mutate func(attempt int, p *kernel.Process)) (*kernel.P
 		if mutate != nil {
 			mutate(n, p)
 		}
-		runErr := p.Run(budget)
-		if runErr != nil && p.Kill == nil {
+		runErr := p.RunCtx(ctx, budget)
+		if runErr != nil && p.Kill == nil && !errors.Is(runErr, kernel.ErrCancelled) {
 			// The watchdog (or another budget-style kill) fired without
 			// a machine fault; synthesize the post-mortem the kernel
 			// would have had no chance to file.
@@ -199,6 +220,9 @@ func (s *Supervisor) Run(mutate func(attempt int, p *kernel.Process)) (*kernel.P
 		})
 		if runErr == nil {
 			return p, nil
+		}
+		if errors.Is(runErr, kernel.ErrCancelled) {
+			return p, runErr
 		}
 		lastErr = runErr
 	}

@@ -1,7 +1,10 @@
 package supervise
 
 import (
+	"context"
 	"errors"
+	"math"
+	"sync"
 	"testing"
 
 	"pacstack/internal/compile"
@@ -170,6 +173,114 @@ func TestConfigureRunsOncePerIncarnationPolicy(t *testing.T) {
 		for i, p := range procs {
 			if !p.FullFrameSigreturn {
 				t.Errorf("%v: incarnation %d did not inherit configuration", respawn, i)
+			}
+		}
+	}
+}
+
+func TestBackoffNoShiftOverflowPastRestart63(t *testing.T) {
+	// Regression: with a huge cap, restart counts past 63 used to shift
+	// the delay's top bit out of the uint64 and wrap toward zero —
+	// handing late brute-force incarnations free restarts.
+	pol := Policy{BackoffBase: 1, BackoffCap: math.MaxUint64}
+	var prev uint64
+	for r := 0; r < 200; r++ {
+		d := pol.backoff(r)
+		if d < prev {
+			t.Fatalf("restart %d: backoff %d < restart %d's %d (overflow wrap)", r, d, r-1, prev)
+		}
+		prev = d
+	}
+	if got := pol.backoff(64); got != math.MaxUint64 {
+		t.Errorf("restart 64 backoff = %d, want saturation at the cap", got)
+	}
+	if got := pol.backoff(200); got != math.MaxUint64 {
+		t.Errorf("restart 200 backoff = %d, want saturation at the cap", got)
+	}
+	// Odd bases cross 2^63 mid-doubling; they must saturate, not wrap.
+	odd := Policy{BackoffBase: 3, BackoffCap: math.MaxUint64}
+	if got := odd.backoff(100); got < 1<<62 {
+		t.Errorf("odd-base restart 100 backoff = %d, wrapped", got)
+	}
+	// The documented cap semantics are unchanged below the overflow
+	// region.
+	capped := Policy{BackoffBase: 100, BackoffCap: 400}
+	for r, want := range []uint64{100, 200, 400, 400} {
+		if got := capped.backoff(r); got != want {
+			t.Errorf("capped restart %d = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestRunCtxStopsRestartingOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sup := New(image(t, spinProgram()), seededKernel(1), Policy{
+		MaxRestarts: 50,
+		Budget:      2_000,
+	})
+	attempts := 0
+	_, err := sup.RunCtx(ctx, func(n int, _ *kernel.Process) {
+		attempts = n + 1
+		if n == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, kernel.ErrCancelled) {
+		t.Fatalf("err = %v, want kernel.ErrCancelled", err)
+	}
+	if errors.Is(err, ErrRestartsExhausted) {
+		t.Error("cancellation misreported as restart exhaustion")
+	}
+	if attempts != 3 {
+		t.Errorf("ran %d attempts after cancel at attempt 2, want 3", attempts)
+	}
+	// The cancelled attempt is logged but carries no synthesized kill:
+	// the process was abandoned, not killed.
+	last := sup.Attempts[len(sup.Attempts)-1]
+	if last.Kill != nil {
+		t.Errorf("cancelled attempt filed a post-mortem: %v", last.Kill)
+	}
+}
+
+// TestKillInfoConcurrentSupervisedRestarts runs many supervisors over
+// the same compiled image at once (the serving layer's worker-pool
+// shape) and checks every attempt's post-mortem is complete and
+// task-accurate. Under -race this also proves Boot/Run/KillInfo share
+// no unsynchronized state across supervisors.
+func TestKillInfoConcurrentSupervisedRestarts(t *testing.T) {
+	img := image(t, spinProgram())
+	const supervisors = 8
+	sups := make([]*Supervisor, supervisors)
+	var wg sync.WaitGroup
+	for i := 0; i < supervisors; i++ {
+		sups[i] = New(img, seededKernel(int64(i+1)), Policy{
+			Respawn:     RespawnExec,
+			MaxRestarts: 3,
+			Budget:      2_000,
+		})
+		wg.Add(1)
+		go func(s *Supervisor) {
+			defer wg.Done()
+			_, _ = s.Run(nil)
+		}(sups[i])
+	}
+	wg.Wait()
+	for i, s := range sups {
+		if len(s.Attempts) != 4 {
+			t.Fatalf("supervisor %d logged %d attempts, want 4", i, len(s.Attempts))
+		}
+		for _, a := range s.Attempts {
+			if a.Kill == nil {
+				t.Fatalf("supervisor %d attempt %d: no post-mortem", i, a.N)
+			}
+			if a.Kill.TaskID != 0 {
+				t.Errorf("supervisor %d attempt %d: post-mortem names task %d", i, a.N, a.Kill.TaskID)
+			}
+			if a.Kill.Symbol == "" {
+				t.Errorf("supervisor %d attempt %d: post-mortem has no symbol", i, a.N)
+			}
+			if !errors.Is(a.Kill.Cause, cpu.ErrStepLimit) {
+				t.Errorf("supervisor %d attempt %d: cause %v, want step limit", i, a.N, a.Kill.Cause)
 			}
 		}
 	}
