@@ -20,3 +20,13 @@ go run -race ./cmd/pacstack-soak $SOAK_FLAGS -check > /tmp/pacstack-soak-a.txt
 go run -race ./cmd/pacstack-soak $SOAK_FLAGS -check > /tmp/pacstack-soak-b.txt
 cmp /tmp/pacstack-soak-a.txt /tmp/pacstack-soak-b.txt
 rm -f /tmp/pacstack-soak-a.txt /tmp/pacstack-soak-b.txt
+
+# Crash-consistency gate: the torn-write crash matrix (every commit-
+# protocol offset x 8 seeds, plus seeded bit rot / truncation /
+# duplicate-rename faults). The binary exits non-zero on any silent
+# restore, replay divergence, or recovery panic; the double run plus
+# cmp enforces that the campaign itself is deterministic.
+go run -race ./cmd/pacstack-snap -crash-matrix -json > /tmp/pacstack-snap-a.json
+go run -race ./cmd/pacstack-snap -crash-matrix -json > /tmp/pacstack-snap-b.json
+cmp /tmp/pacstack-snap-a.json /tmp/pacstack-snap-b.json
+rm -f /tmp/pacstack-snap-a.json /tmp/pacstack-snap-b.json

@@ -23,6 +23,8 @@
 //	               [-seed N] [-timeout D] [-budget N]
 //	               [-chaos] [-chaos-rate F] [-chaos-kinds LIST]
 //	               [-breaker-threshold N] [-breaker-cooldown D]
+//	               [-checkpoint-every N] [-read-header-timeout D]
+//	               [-read-timeout D] [-idle-timeout D]
 package main
 
 import (
@@ -56,6 +58,10 @@ func main() {
 	brThreshold := flag.Int("breaker-threshold", 8, "consecutive backend failures that open a scheme's breaker (<0: disabled)")
 	brCooldown := flag.Duration("breaker-cooldown", 100*time.Millisecond, "how long an open breaker waits before probing")
 	drainWait := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0, "per-request snapshot commit interval in instructions (0: off)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "max time to read a request's headers (slowloris guard; 0: none)")
+	readTimeout := flag.Duration("read-timeout", 15*time.Second, "max time to read a full request including body (0: none)")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "max keep-alive idle time per connection (0: none)")
 	flag.Parse()
 
 	kinds, err := serve.ParseKinds(*chaosKinds)
@@ -74,9 +80,22 @@ func main() {
 		Timeout:          *timeout,
 		BreakerThreshold: *brThreshold,
 		BreakerCooldown:  uint64(*brCooldown),
+		CheckpointEvery:  *checkpointEvery,
 	})
 
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	// Connection-level timeouts: without these a client that dribbles
+	// header bytes (slowloris) or parks idle keep-alives pins a
+	// connection forever — the per-request -timeout only starts once a
+	// request has been read. No WriteTimeout: responses are small and
+	// cut off by the request deadline; a hard write cap would also
+	// truncate slow-but-legitimate drains.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s (workers %d, queue %d, chaos %v, seed %d)",

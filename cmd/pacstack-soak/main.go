@@ -12,7 +12,9 @@
 //	pacstack-soak [-clients N] [-requests N] [-workload NAME]
 //	              [-schemes LIST] [-seed N] [-chaos-rate F]
 //	              [-chaos-kinds LIST] [-heal N] [-workers N] [-queue N]
-//	              [-retries N] [-breaker-threshold N] [-json] [-check]
+//	              [-retries N] [-breaker-threshold N]
+//	              [-checkpoint-every N] [-checkpoint-crash F]
+//	              [-json] [-check]
 //
 // With -check, the exit status enforces the robustness acceptance
 // criteria: non-zero if any silent corruption was recorded or the run
@@ -43,6 +45,8 @@ func main() {
 	chaosRate := flag.Float64("chaos-rate", 0.1, "per-attempt fault-injection probability")
 	chaosKinds := flag.String("chaos-kinds", "", "comma-separated kinds: bitflip, retaddr, smash, register, sigframe (default retaddr,smash,sigframe)")
 	heal := flag.Int("heal", 0, "supervised respawns per request after a detected kill")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0, "per-request snapshot commit interval in instructions (0: off)")
+	checkpointCrash := flag.Float64("checkpoint-crash", 0, "per-request probability of a machine death mid-checkpoint")
 	workers := flag.Int("workers", 4, "modelled server workers")
 	queue := flag.Int("queue", 0, "modelled admission queue (0: 2*workers, <0: none)")
 	retries := flag.Int("retries", 3, "client retry budget for sheds and breaker denials")
@@ -64,6 +68,8 @@ func main() {
 		ChaosRate:        *chaosRate,
 		ChaosKinds:       kinds,
 		Heal:             *heal,
+		CheckpointEvery:  *checkpointEvery,
+		CheckpointCrash:  *checkpointCrash,
 		Workers:          *workers,
 		Queue:            *queue,
 		Retries:          *retries,

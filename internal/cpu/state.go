@@ -1,0 +1,51 @@
+// Machine state capture and restore, the CPU-side half of the
+// checkpoint/restore subsystem (internal/snap). A State is exactly
+// the architectural state a context switch preserves — the register
+// file, PC, flags, and the retirement counters the cost model and
+// watchdog read — and deliberately nothing else: the decode/fetch/
+// cost caches are derived state revalidated on every Step, and the
+// Syscall/CFI/Trace/PreStep hooks are ownership of whoever boots the
+// machine (the kernel re-installs them on restore).
+package cpu
+
+import "pacstack/internal/isa"
+
+// State is the serializable architectural state of one Machine.
+type State struct {
+	Regs       [isa.NumRegs]uint64
+	PC         uint64
+	N, Z, C, V bool
+	Cycles     uint64
+	Instrs     uint64
+	Halted     bool
+	ExitCode   uint64
+}
+
+// CaptureState copies the machine's architectural state out.
+func (m *Machine) CaptureState() State {
+	return State{
+		Regs:     m.regs,
+		PC:       m.PC,
+		N:        m.N,
+		Z:        m.Z,
+		C:        m.C,
+		V:        m.V,
+		Cycles:   m.Cycles,
+		Instrs:   m.Instrs,
+		Halted:   m.Halted,
+		ExitCode: m.ExitCode,
+	}
+}
+
+// RestoreState overwrites the machine's architectural state. The
+// fast-path caches need no invalidation: they are keyed on the Prog /
+// Cost / memory-generation sources and revalidate on the next Step.
+func (m *Machine) RestoreState(s State) {
+	m.regs = s.Regs
+	m.PC = s.PC
+	m.N, m.Z, m.C, m.V = s.N, s.Z, s.C, s.V
+	m.Cycles = s.Cycles
+	m.Instrs = s.Instrs
+	m.Halted = s.Halted
+	m.ExitCode = s.ExitCode
+}

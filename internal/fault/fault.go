@@ -131,15 +131,15 @@ type Cause int
 
 // Detection causes.
 const (
-	CauseNone        Cause = iota // not detected
-	CauseAuth                     // PAC authentication failure (translation fault on a poisoned pointer)
-	CauseSegfault                 // memory access or fetch fault
-	CauseCFI                      // forward- or return-edge CFI hook
-	CauseCanary                   // __stack_chk_fail abort (exit 134)
-	CauseSigreturn                // kernel sigreturn validation (Appendix B)
-	CauseWatchdog                 // instruction-budget watchdog expiry
-	CauseOther                    // any other kill
-	NumCauses int = iota
+	CauseNone      Cause = iota // not detected
+	CauseAuth                   // PAC authentication failure (translation fault on a poisoned pointer)
+	CauseSegfault               // memory access or fetch fault
+	CauseCFI                    // forward- or return-edge CFI hook
+	CauseCanary                 // __stack_chk_fail abort (exit 134)
+	CauseSigreturn              // kernel sigreturn validation (Appendix B)
+	CauseWatchdog               // instruction-budget watchdog expiry
+	CauseOther                  // any other kill
+	NumCauses      int   = iota
 )
 
 // String names the cause.

@@ -28,6 +28,10 @@ func Soak(r *serve.SoakReport) string {
 
 	fmt.Fprintf(&b, "\ninjected faults %d | retries %d | sheds %d | breaker denied %d\n",
 		r.Injected, r.Retries, r.Sheds, r.BreakerDenied)
+	if r.Checkpoints > 0 || r.TornCommits > 0 || r.Restores > 0 {
+		fmt.Fprintf(&b, "checkpoints %d | warm restores %d | torn commits %d\n",
+			r.Checkpoints, r.Restores, r.TornCommits)
+	}
 	if len(r.Causes) > 0 {
 		parts := make([]string, 0, len(r.Causes))
 		for _, c := range r.Causes {

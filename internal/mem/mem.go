@@ -8,7 +8,10 @@
 // touch executable pages.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Perm is a page permission bit set.
 type Perm uint8
@@ -307,6 +310,57 @@ func (m *Memory) WriteBytes(addr uint64, b []byte) error {
 		done += n
 	}
 	return nil
+}
+
+// PageState is one mapped page in exportable form, used by the
+// checkpoint/restore subsystem (internal/snap) to serialize an
+// address space.
+type PageState struct {
+	Addr uint64 // page-aligned base address
+	Perm Perm
+	Data []byte // exactly PageSize bytes
+}
+
+// Pages returns every mapped page sorted by address, with the data
+// deep-copied: a point-in-time snapshot of the whole address space.
+func (m *Memory) Pages() []PageState {
+	out := make([]PageState, 0, len(m.pages))
+	for num, pg := range m.pages {
+		data := make([]byte, PageSize)
+		copy(data, pg.data[:])
+		out = append(out, PageState{Addr: num * PageSize, Perm: pg.perm, Data: data})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// FromPages reconstructs an address space from a page snapshot. The
+// same structural invariants as Map apply: page-aligned addresses, no
+// duplicates, no W+X permissions; data must be exactly PageSize bytes
+// (shorter slices are accepted and zero-extended, the codec trims
+// trailing zeros).
+func FromPages(pages []PageState) (*Memory, error) {
+	m := New()
+	for _, ps := range pages {
+		if ps.Addr%PageSize != 0 {
+			return nil, fmt.Errorf("mem: page address %#x not page-aligned", ps.Addr)
+		}
+		if ps.Perm&PermW != 0 && ps.Perm&PermX != 0 {
+			return nil, fmt.Errorf("mem: W+X page at %#x violates W⊕X", ps.Addr)
+		}
+		if len(ps.Data) > PageSize {
+			return nil, fmt.Errorf("mem: page at %#x has %d bytes of data", ps.Addr, len(ps.Data))
+		}
+		num := ps.Addr / PageSize
+		if _, ok := m.pages[num]; ok {
+			return nil, fmt.Errorf("mem: duplicate page at %#x", ps.Addr)
+		}
+		pg := &page{perm: ps.Perm}
+		copy(pg.data[:], ps.Data)
+		m.pages[num] = pg
+	}
+	m.gen++
+	return m, nil
 }
 
 func le64(b []byte) uint64 {

@@ -104,6 +104,31 @@ func GenerateKeysFrom(rng *mrand.Rand) Keys {
 	return ks
 }
 
+// Fingerprint returns a non-secret 64-bit digest of the key set
+// (FNV-1a over the key words). The checkpoint codec (internal/snap)
+// stores it next to the serialized key material so a restore can
+// verify the keys survived storage intact before any pointer is
+// re-authenticated under them; it is a checksum, not a MAC, and
+// reveals nothing useful about the keys themselves beyond equality.
+func (ks Keys) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	for _, k := range ks {
+		mix(k.W0)
+		mix(k.K0)
+	}
+	return h
+}
+
 // Config fixes the pointer layout and cipher parameters.
 type Config struct {
 	// VASize is the number of virtual address bits. The 64-bit ARM

@@ -359,7 +359,10 @@ func TestPACCacheTransparent(t *testing.T) {
 	keys := testKeys()
 	hot := New(keys, DefaultConfig())
 	rng := mrand.New(mrand.NewSource(11))
-	type q struct{ key KeyID; p, mod uint64 }
+	type q struct {
+		key    KeyID
+		p, mod uint64
+	}
 	queries := make([]q, 512)
 	for i := range queries {
 		// Canonical pointers: AddPAC poisons non-canonical inputs, and

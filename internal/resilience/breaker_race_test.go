@@ -1,0 +1,86 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBreakerHalfOpenSingleProbe hammers a half-open breaker with
+// concurrent Allow calls (run under -race): exactly one caller must be
+// admitted as the probe, everyone else must be shed, and both exit
+// edges from half-open — probe succeeds → closed, probe fails →
+// re-open — must fire exactly once no matter how the goroutines
+// interleave.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	const goroutines = 64
+
+	run := func(t *testing.T, probeOK bool) {
+		b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 100})
+		b.Record(0, false) // threshold 1: one failure opens it
+		if got := b.State(0); got != BreakerOpen {
+			t.Fatalf("after failure: state = %v, want open", got)
+		}
+		if b.Allow(50) {
+			t.Fatalf("breaker admitted traffic mid-cooldown")
+		}
+
+		// Cooldown expired: every goroutine races to be the probe.
+		var admitted atomic.Int64
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for i := 0; i < goroutines; i++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if b.Allow(100) {
+					admitted.Add(1)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		if n := admitted.Load(); n != 1 {
+			t.Fatalf("half-open admitted %d probes concurrently, want exactly 1", n)
+		}
+		if got := b.State(100); got != BreakerHalfOpen {
+			t.Fatalf("probe outstanding: state = %v, want half-open", got)
+		}
+		// The shed callers never call Record; only the winner reports.
+		b.Record(100, probeOK)
+
+		if probeOK {
+			if got := b.State(100); got != BreakerClosed {
+				t.Fatalf("probe succeeded: state = %v, want closed", got)
+			}
+			if !b.Allow(101) {
+				t.Fatalf("closed breaker refused traffic")
+			}
+			if got := b.Opens(); got != 1 {
+				t.Fatalf("opens = %d, want 1 (the original trip)", got)
+			}
+		} else {
+			if got := b.State(100); got != BreakerOpen {
+				t.Fatalf("probe failed: state = %v, want re-opened", got)
+			}
+			if b.Allow(150) {
+				t.Fatalf("re-opened breaker admitted traffic mid-cooldown")
+			}
+			if got := b.Opens(); got != 2 {
+				t.Fatalf("opens = %d, want 2 (trip + failed probe)", got)
+			}
+			// The second cooldown runs from the failed probe: a fresh
+			// probe slot must exist at 100+Cooldown, again exactly one.
+			if !b.Allow(200) {
+				t.Fatalf("no probe admitted after the second cooldown")
+			}
+			if b.Allow(200) {
+				t.Fatalf("second concurrent probe admitted after re-open")
+			}
+		}
+	}
+
+	t.Run("probe succeeds closes", func(t *testing.T) { run(t, true) })
+	t.Run("probe fails reopens", func(t *testing.T) { run(t, false) })
+}

@@ -40,6 +40,7 @@ import (
 	"pacstack/internal/kernel"
 	"pacstack/internal/pa"
 	"pacstack/internal/resilience"
+	"pacstack/internal/snap"
 	"pacstack/internal/supervise"
 	"pacstack/internal/workload"
 )
@@ -76,6 +77,21 @@ type Config struct {
 	// Budget is the per-attempt instruction watchdog; 0 derives it
 	// from the scheme's golden run (4x its length).
 	Budget uint64
+
+	// CheckpointEvery, when non-zero, gives every request a
+	// crash-consistent snapshot store (internal/snap): its victim
+	// commits a checkpoint each time that many instructions retire,
+	// and supervised respawns warm-restore the newest valid snapshot
+	// instead of starting over. The store lives and dies with the
+	// request, so requests stay independent and replayable.
+	CheckpointEvery uint64
+	// CheckpointCrash is the per-request probability (checkpointing
+	// only) of the chaos dimension torn writes add: the simulated
+	// machine dies partway through a snapshot commit, at a
+	// seeded byte offset of the storage protocol. The supervisor must
+	// heal the disk, classify the debris and warm-restore — with
+	// Heal > 0 the request still succeeds.
+	CheckpointCrash float64
 
 	// Timeout is the per-request wall-clock deadline applied by the
 	// HTTP layer; 0 means none.
@@ -146,6 +162,12 @@ type Result struct {
 	Healed   bool `json:"healed,omitempty"`
 	// Injected counts chaos faults armed across the attempts.
 	Injected int `json:"injected_faults,omitempty"`
+	// Checkpoints / Restores / TornCommits are the request's
+	// snapshot-store traffic: commits that landed, respawns that
+	// warm-restored, and commits a simulated storage crash tore.
+	Checkpoints int `json:"checkpoints,omitempty"`
+	Restores    int `json:"restores,omitempty"`
+	TornCommits int `json:"torn_commits,omitempty"`
 }
 
 // BadRequestError reports an unparseable request (unknown workload or
@@ -468,8 +490,37 @@ func (s *Server) execute(ctx context.Context, eng *fault.Engine, scheme compile.
 	})
 	sup.Configure = func(p *kernel.Process) { fault.Harden(scheme, p) }
 
+	// Per-request snapshot store. The torn-crash decision and its byte
+	// budget are drawn here, before any attempt runs, so the request
+	// outcome is a pure function of its seed regardless of attempt
+	// count — the soak's determinism depends on that.
+	var storeFS *snap.MemFS
+	crashFrac := -1.0
+	if s.cfg.CheckpointEvery > 0 {
+		storeFS = snap.NewMemFS()
+		sup.Snapshots = snap.NewStore(storeFS)
+		sup.CheckpointEvery = s.cfg.CheckpointEvery
+		if s.cfg.CheckpointCrash > 0 && rng.Float64() < s.cfg.CheckpointCrash {
+			crashFrac = rng.Float64()
+		}
+	}
+
 	injected := 0
 	proc, runErr := sup.RunCtx(ctx, func(n int, p *kernel.Process) {
+		if n == 0 && crashFrac >= 0 {
+			// Armed after the attempt's recovery pass (which heals the
+			// disk) so the crash actually lands mid-commit. The byte
+			// budget is the drawn fraction of the request's estimated
+			// snapshot traffic (commit count times the boot-state image
+			// size), so crashes spread across the whole commit sequence
+			// instead of clustering in the first one; a draw past the
+			// actual traffic simply never fires — a benign draw.
+			if est, err := snap.Encode(p.Checkpoint(), img.Prog); err == nil {
+				commits := int64(goldenInstrs/s.cfg.CheckpointEvery) + 1
+				traffic := commits * int64(len(est)+64)
+				storeFS.Crash(int64(crashFrac * float64(traffic)))
+			}
+		}
 		if !s.cfg.Chaos || rng.Float64() >= s.cfg.ChaosRate {
 			return
 		}
@@ -481,6 +532,7 @@ func (s *Server) execute(ctx context.Context, eng *fault.Engine, scheme compile.
 			injected++
 		}
 	})
+	s.stats.checkpointed(sup.Commits, sup.Restores, sup.CommitErrs)
 	if runErr != nil && errors.Is(runErr, kernel.ErrCancelled) {
 		return nil, fmt.Errorf("%w: %w", ErrDeadline, runErr)
 	}
@@ -507,17 +559,21 @@ func (s *Server) execute(ctx context.Context, eng *fault.Engine, scheme compile.
 	for _, t := range proc.Tasks {
 		instrs += t.M.Instrs
 	}
-	return &Result{
-		Workload: workloadName,
-		Scheme:   schemeName(scheme),
-		Output:   string(proc.Output),
-		ExitCode: proc.ExitCode,
-		Instrs:   instrs,
-		Cycles:   proc.Cycles(),
-		Attempts: attempts,
-		Healed:   attempts > 1,
-		Injected: injected,
-	}, nil
+	res := &Result{
+		Workload:    workloadName,
+		Scheme:      schemeName(scheme),
+		Output:      string(proc.Output),
+		ExitCode:    proc.ExitCode,
+		Instrs:      instrs,
+		Cycles:      proc.Cycles(),
+		Attempts:    attempts,
+		Healed:      attempts > 1,
+		Injected:    injected,
+		Checkpoints: sup.Commits,
+		Restores:    sup.Restores,
+		TornCommits: sup.CommitErrs,
+	}
+	return res, nil
 }
 
 // BeginDrain stops admitting new requests (the SIGTERM path's first
@@ -551,6 +607,9 @@ type stats struct {
 	panics           uint64
 	badRequests      uint64
 	internal         uint64
+	checkpoints      uint64
+	restores         uint64
+	tornCommits      uint64
 }
 
 // count classifies one finished request by its typed error.
@@ -595,6 +654,17 @@ func (st *stats) healed() {
 	st.healedN++
 }
 
+func (st *stats) checkpointed(commits, restores, torn int) {
+	if commits == 0 && restores == 0 && torn == 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.checkpoints += uint64(commits)
+	st.restores += uint64(restores)
+	st.tornCommits += uint64(torn)
+}
+
 // Snapshot is a point-in-time copy of the server counters, shaped for
 // the /v1/stats JSON surface and the shutdown report.
 type Snapshot struct {
@@ -612,6 +682,9 @@ type Snapshot struct {
 	Panics           uint64            `json:"panics"`
 	BadRequests      uint64            `json:"bad_requests"`
 	Internal         uint64            `json:"internal_errors"`
+	Checkpoints      uint64            `json:"checkpoints,omitempty"`
+	Restores         uint64            `json:"restores,omitempty"`
+	TornCommits      uint64            `json:"torn_commits,omitempty"`
 	InFlight         int               `json:"in_flight"`
 	Queued           int               `json:"queued"`
 	Draining         bool              `json:"draining"`
@@ -633,6 +706,9 @@ func (s *Server) Stats() Snapshot {
 		Panics:           s.stats.panics,
 		BadRequests:      s.stats.badRequests,
 		Internal:         s.stats.internal,
+		Checkpoints:      s.stats.checkpoints,
+		Restores:         s.stats.restores,
+		TornCommits:      s.stats.tornCommits,
 	}
 	if s.stats.detected > 0 {
 		snap.DetectedByCause = make(map[string]uint64)

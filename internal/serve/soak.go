@@ -54,6 +54,13 @@ type SoakConfig struct {
 	ChaosKinds []fault.Kind
 	Heal       int
 
+	// Checkpoint knobs, as in Config: CheckpointEvery switches
+	// per-request crash-consistent snapshotting on, CheckpointCrash is
+	// the seeded probability of a simulated machine death mid-commit
+	// (the kill-a-kernel-mid-checkpoint soak dimension).
+	CheckpointEvery uint64
+	CheckpointCrash float64
+
 	// Server model: Workers simultaneous executions, Queue waiters,
 	// everything beyond shed. Defaults 4 and 8.
 	Workers int
@@ -175,7 +182,14 @@ type SoakReport struct {
 	// Causes is ByCause in stable, name-keyed, zero-suppressed form.
 	Causes []SchemeCount `json:"detected_by_cause,omitempty"`
 
-	Injected      int           `json:"injected_faults"`
+	Injected int `json:"injected_faults"`
+	// Checkpoint traffic across all executed requests: snapshot
+	// commits, warm restores, and commits torn by a simulated
+	// mid-checkpoint machine death. The soak gate's invariant: torn
+	// commits never produce a silent outcome.
+	Checkpoints   int           `json:"checkpoints,omitempty"`
+	Restores      int           `json:"restores,omitempty"`
+	TornCommits   int           `json:"torn_commits,omitempty"`
 	Retries       int           `json:"retries"`
 	Sheds         int           `json:"sheds"`
 	BreakerDenied int           `json:"breaker_denied"`
@@ -197,11 +211,14 @@ func (r *SoakReport) Graceful() bool {
 
 // soakOutcome is one precomputed request execution result.
 type soakOutcome struct {
-	class    int // 0 ok, 1 detected, 2 silent
-	cause    fault.Cause
-	cycles   uint64
-	healed   bool
-	injected int
+	class       int // 0 ok, 1 detected, 2 silent
+	cause       fault.Cause
+	cycles      uint64
+	healed      bool
+	injected    int
+	checkpoints int
+	restores    int
+	torn        int
 }
 
 const (
@@ -267,6 +284,8 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		ChaosRate:        cfg.ChaosRate,
 		ChaosKinds:       cfg.ChaosKinds,
 		Heal:             cfg.Heal,
+		CheckpointEvery:  cfg.CheckpointEvery,
+		CheckpointCrash:  cfg.CheckpointCrash,
 		BreakerThreshold: -1,
 	})
 	if _, err := srv.engine(cfg.Workload); err != nil {
@@ -296,6 +315,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 			outcomes[id] = soakOutcome{
 				class: classOK, cycles: res.Cycles,
 				healed: res.Healed, injected: res.Injected,
+				checkpoints: res.Checkpoints, restores: res.Restores, torn: res.TornCommits,
 			}
 		default:
 			var ce *CorruptionError
@@ -433,6 +453,9 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 			r := row(name)
 			r.Requests++
 			rep.Injected += o.injected
+			rep.Checkpoints += o.checkpoints
+			rep.Restores += o.restores
+			rep.TornCommits += o.torn
 			switch o.class {
 			case classOK:
 				rep.OK++

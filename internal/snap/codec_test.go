@@ -1,0 +1,189 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc64"
+	"testing"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/cpu"
+	"pacstack/internal/kernel"
+	"pacstack/internal/pa"
+)
+
+// bootVictim boots the built-in matrix victim under full PACStack
+// with a seeded kernel and runs it partway, so checkpoints carry a
+// live authenticated chain, dirty pages and nonzero counters.
+func bootVictim(t testing.TB, seed int64, instrs uint64) (*kernel.Process, *compile.Image) {
+	t.Helper()
+	img, err := compile.Compile(matrixProgram(), compile.SchemePACStack, compile.DefaultLayout())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	k := kernel.New(pa.DefaultConfig())
+	k.Seed(seed)
+	p, err := img.Boot(k)
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	p.FullFrameSigreturn = true
+	if err := p.Run(instrs); !errors.Is(err, cpu.ErrStepLimit) {
+		t.Fatalf("run: got %v, want step limit", err)
+	}
+	return p, img
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	p, img := bootVictim(t, 7, 500)
+	cp := p.Checkpoint()
+	enc, err := Encode(cp, img.Prog)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, meta, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	progCRC, err := ProgramCRC(img.Prog)
+	if err != nil {
+		t.Fatalf("program crc: %v", err)
+	}
+	if meta.ProgCRC != progCRC || meta.ProgBase != img.Prog.Base {
+		t.Errorf("meta = %+v, want base %#x crc %#x", meta, img.Prog.Base, progCRC)
+	}
+	// Re-encoding the decoded checkpoint must be byte-identical: the
+	// encoding is canonical, which the crash matrix's replay-identity
+	// check leans on.
+	re, err := Encode(dec, img.Prog)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(enc, re) {
+		t.Errorf("re-encoded image differs: %d vs %d bytes", len(enc), len(re))
+	}
+	if dec.Keys != cp.Keys {
+		t.Errorf("keys did not round-trip")
+	}
+	if len(dec.Tasks) != len(cp.Tasks) {
+		t.Fatalf("tasks = %d, want %d", len(dec.Tasks), len(cp.Tasks))
+	}
+	if dec.Tasks[0].M != cp.Tasks[0].M {
+		t.Errorf("task 0 machine state did not round-trip")
+	}
+}
+
+func TestRestoreReplaysIdentically(t *testing.T) {
+	p, img := bootVictim(t, 11, 400)
+	enc, err := Encode(p.Checkpoint(), img.Prog)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Golden: the original process runs to completion.
+	if err := p.Run(1 << 22); err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	golden, err := Encode(p.Checkpoint(), img.Prog)
+	if err != nil {
+		t.Fatalf("golden encode: %v", err)
+	}
+
+	// Restored: a fresh boot overwritten with the checkpoint must
+	// replay to the same final bytes.
+	cp, _, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	k := kernel.New(pa.DefaultConfig())
+	k.Seed(999) // different boot entropy: Restore must overwrite all of it
+	q, err := img.Boot(k)
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	q.FullFrameSigreturn = true
+	if err := q.Restore(cp); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if err := q.Run(1 << 22); err != nil {
+		t.Fatalf("restored run: %v", err)
+	}
+	got, err := Encode(q.Checkpoint(), img.Prog)
+	if err != nil {
+		t.Fatalf("restored encode: %v", err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Errorf("restored run diverged from uninterrupted run (%d vs %d bytes)", len(got), len(golden))
+	}
+	if string(q.Output) != string(p.Output) {
+		t.Errorf("output diverged: %q vs %q", q.Output, p.Output)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	p, img := bootVictim(t, 13, 300)
+	enc, err := Encode(p.Checkpoint(), img.Prog)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Every single-bit flip anywhere in the image must be detected:
+	// the image is fully covered by the trailing CRC.
+	for off := 0; off < len(enc); off += 41 { // stride keeps the test fast; offset 0 and the trailer are covered
+		for bit := 0; bit < 8; bit += 3 {
+			mut := append([]byte(nil), enc...)
+			mut[off] ^= 1 << bit
+			if _, _, err := Decode(mut); err == nil {
+				t.Fatalf("flip at byte %d bit %d decoded as valid", off, bit)
+			}
+		}
+	}
+	// Truncation at any length must be detected.
+	for n := 0; n < len(enc); n += 97 {
+		if _, _, err := Decode(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded as valid", n)
+		}
+	}
+	// Unknown version must be refused, not misparsed.
+	mut := append([]byte(nil), enc...)
+	mut[4] = 0xFF
+	if _, _, err := Decode(mut); err == nil {
+		t.Fatalf("bad version decoded as valid")
+	}
+}
+
+// FuzzRestore feeds mutated snapshot bytes into the decoder. The
+// decoder sits on the recovery path of a crashed supervisor, so it
+// must fail-stop on arbitrary garbage: never panic, and never report
+// valid for an image whose checksum does not hold.
+func FuzzRestore(f *testing.F) {
+	p, img := bootVictim(f, 17, 350)
+	enc, err := Encode(p.Checkpoint(), img.Prog)
+	if err != nil {
+		f.Fatalf("encode: %v", err)
+	}
+	f.Add(enc)                            // a real checkpoint image
+	f.Add(enc[:len(enc)/2])               // torn mid-payload
+	f.Add(enc[:headerSize])               // header only
+	f.Add([]byte("PSNP"))                 // bare magic
+	f.Add(encodeRec(1, 100, 0xdeadbeef))  // a journal record is not an image
+	f.Add(bytes.Repeat([]byte{0xFF}, 64)) // noise
+
+	f.Fuzz(func(t *testing.T, img []byte) {
+		cp, _, err := Decode(img) // must not panic
+		if err != nil {
+			return
+		}
+		// Decode said valid: the stored checksum must actually hold
+		// over the image bytes, and the checkpoint must be structurally
+		// usable (re-encodable).
+		stored, ok := ImageCRC(img)
+		if !ok {
+			t.Fatalf("decoded valid but image too short for a checksum")
+		}
+		if computed := crc64.Checksum(img[:len(img)-crcSize], crcTable); stored != computed {
+			t.Fatalf("decoded valid with checksum mismatch: stored %#x computed %#x", stored, computed)
+		}
+		if cp == nil || len(cp.Tasks) == 0 && !cp.Exited && cp.Kill == nil {
+			t.Fatalf("decoded valid but checkpoint is vacuous: %+v", cp)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+// The seeded storage-fault injector. Torn writes are modelled by the
+// MemFS crash budget (they happen *during* a commit); the faults here
+// are post-hoc damage to bytes already at rest — bit rot, truncation,
+// and the debris of a duplicate-rename race. Every fault is drawn from
+// a seeded rng, so a campaign replays exactly and its report can be
+// diffed byte-for-byte across runs.
+
+package snap
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"strings"
+)
+
+// Fault kind names, used in reports. They form the storage-side
+// counterpart of internal/fault's corruption kinds.
+const (
+	FaultTornWrite = "torn-write"
+	FaultBitRot    = "bit-rot"
+	FaultTruncate  = "truncation"
+	FaultDupRename = "duplicate-rename"
+)
+
+// InjectedFault describes one applied fault, precisely enough to
+// reproduce it by hand.
+type InjectedFault struct {
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	Offset int64  `json:"offset,omitempty"`
+	Bit    int    `json:"bit,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Injector applies seeded post-hoc faults to a MemFS-backed store.
+type Injector struct {
+	fs  *MemFS
+	rng *mrand.Rand
+}
+
+// NewInjector returns an injector over fs drawing from seed.
+func NewInjector(fs *MemFS, seed int64) *Injector {
+	return &Injector{fs: fs, rng: mrand.New(mrand.NewSource(seed))}
+}
+
+// targets lists the store files worth damaging (snapshots and the
+// journal), sorted so rng draws are stable.
+func (in *Injector) targets() []string {
+	names, _ := in.fs.List()
+	var out []string
+	for _, n := range names {
+		if n == journalName || strings.HasPrefix(n, snapPrefix) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// pick returns a seeded non-empty target, or "" if none exists.
+func (in *Injector) pick() string {
+	var nonEmpty []string
+	for _, n := range in.targets() {
+		if data, err := in.fs.ReadFile(n); err == nil && len(data) > 0 {
+			nonEmpty = append(nonEmpty, n)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return ""
+	}
+	return nonEmpty[in.rng.Intn(len(nonEmpty))]
+}
+
+// BitRot flips one seeded bit in one stored file. Every stored byte is
+// under a checksum (image trailer or journal record CRC), so a single
+// flipped bit anywhere must surface as a detection.
+func (in *Injector) BitRot() (InjectedFault, bool) {
+	name := in.pick()
+	if name == "" {
+		return InjectedFault{}, false
+	}
+	var off int64
+	var bit int
+	in.fs.corrupt(name, func(data []byte) []byte {
+		off = int64(in.rng.Intn(len(data)))
+		bit = in.rng.Intn(8)
+		data[off] ^= 1 << bit
+		return data
+	})
+	return InjectedFault{Kind: FaultBitRot, Name: name, Offset: off, Bit: bit}, true
+}
+
+// Truncate cuts one stored file at a seeded offset strictly inside it
+// — lost tail, the classic symptom of an unsynced write that never
+// reached the platter.
+func (in *Injector) Truncate() (InjectedFault, bool) {
+	name := in.pick()
+	if name == "" {
+		return InjectedFault{}, false
+	}
+	var off int64
+	in.fs.corrupt(name, func(data []byte) []byte {
+		off = int64(in.rng.Intn(len(data)))
+		return data[:off]
+	})
+	return InjectedFault{Kind: FaultTruncate, Name: name, Offset: off}, true
+}
+
+// DupRename plants the debris of a duplicate-rename race. Two
+// variants, seeded: a leftover write-temp from the racer that lost
+// (recovery must sweep and report it), or — the nastier one — the
+// newest snapshot name holding an *older* image's bytes because the
+// wrong temp won the rename. The second variant produces a file that
+// is internally self-consistent (valid magic, valid checksum), so
+// only the journal cross-check can catch it.
+func (in *Injector) DupRename() (InjectedFault, bool) {
+	var snaps []string
+	for _, n := range in.targets() {
+		if n != journalName {
+			snaps = append(snaps, n)
+		}
+	}
+	if len(snaps) == 0 {
+		return InjectedFault{}, false
+	}
+	newest := snaps[len(snaps)-1] // List is sorted; zero-padded names order by seq
+	seq, _ := parseSnapName(newest)
+	if len(snaps) >= 2 && in.rng.Intn(2) == 0 {
+		older := snaps[len(snaps)-2]
+		data, err := in.fs.ReadFile(older)
+		if err != nil {
+			return InjectedFault{}, false
+		}
+		in.fs.plant(newest, data)
+		return InjectedFault{
+			Kind: FaultDupRename, Name: newest,
+			Detail: fmt.Sprintf("wrong rename winner: %s now holds the bytes of %s", newest, older),
+		}, true
+	}
+	data, err := in.fs.ReadFile(newest)
+	if err != nil {
+		return InjectedFault{}, false
+	}
+	in.fs.plant(tmpName(seq+1), data)
+	return InjectedFault{
+		Kind: FaultDupRename, Name: tmpName(seq + 1),
+		Detail: "leftover write-temp from the losing racer",
+	}, true
+}

@@ -25,6 +25,7 @@ import (
 	"pacstack/internal/cpu"
 	"pacstack/internal/kernel"
 	"pacstack/internal/pa"
+	"pacstack/internal/snap"
 )
 
 // Respawn selects how a killed victim comes back.
@@ -101,6 +102,9 @@ type Attempt struct {
 	Kill     *kernel.KillInfo
 	ExitCode uint64
 	Output   []byte
+	// Restored reports that this attempt warm-restored from a
+	// checkpoint instead of cold-booting.
+	Restored bool
 }
 
 // ErrRestartsExhausted reports that the victim kept crashing past the
@@ -119,10 +123,35 @@ type Supervisor struct {
 	// runs once, on the template, and forked attempts inherit.
 	Configure func(p *kernel.Process)
 
+	// Snapshots, when non-nil, enables crash-consistent
+	// checkpoint/restore: each attempt first tries to warm-restore the
+	// newest valid snapshot and only cold-boots (per the respawn
+	// policy) when the store is empty or damaged beyond recovery; a
+	// failed restore falls back to a cold boot *within the same
+	// attempt*, so recovery trouble never double-charges the restart
+	// budget. Note the Section 4.3 consequence: a warm restore resumes
+	// the same incarnation — same PA keys — so, unlike RespawnExec, it
+	// does not reset an attacker's guessing game. The checkpoint
+	// cadence decides that trade.
+	Snapshots *snap.Store
+	// CheckpointEvery commits a snapshot every so many executed
+	// instructions while an attempt runs. Zero disables periodic
+	// checkpointing (the store is then only read, never written).
+	CheckpointEvery uint64
+
 	// Attempts is the post-mortem log, one entry per run.
 	Attempts []Attempt
 	// Downtime is the total simulated backoff the restarts cost.
 	Downtime uint64
+
+	// Checkpoint/restore counters.
+	Restores         int // attempts that warm-restored from a snapshot
+	RestoreFallbacks int // restores that failed and fell back to a cold boot
+	Commits          int // snapshots durably committed
+	CommitErrs       int // commit attempts that failed (torn, IO error)
+	// LastRecovery is the report of the most recent recovery pass,
+	// successful or not.
+	LastRecovery *snap.RecoveryReport
 
 	template *kernel.Process // pristine never-run boot (RespawnFork)
 }
@@ -132,9 +161,38 @@ func New(img *compile.Image, k *kernel.Kernel, pol Policy) *Supervisor {
 	return &Supervisor{Img: img, Kernel: k, Policy: pol}
 }
 
-// next creates the process for one attempt according to the respawn
-// policy.
-func (s *Supervisor) next() (*kernel.Process, error) {
+// next creates the process for one attempt: warm restore from the
+// snapshot store when one is configured and holds a valid snapshot,
+// otherwise a cold boot per the respawn policy. The restored flag
+// reports which path was taken.
+func (s *Supervisor) next() (p *kernel.Process, restored bool, err error) {
+	if s.Snapshots != nil {
+		// The disk outlives the machine: revive crashed simulated
+		// storage before reading it, exactly as a reboot would.
+		s.Snapshots.Heal()
+		rp, rep, rerr := snap.RestoreProcess(s.Snapshots, s.Img, s.Kernel)
+		s.LastRecovery = rep
+		if rerr == nil {
+			s.Restores++
+			if s.Configure != nil {
+				s.Configure(rp)
+			}
+			return rp, true, nil
+		}
+		if !errors.Is(rerr, snap.ErrNoSnapshot) {
+			// The store had snapshots but none survived classification
+			// (or the image did not match the program). Detected, counted
+			// — and the cold boot below happens in this same cycle, so
+			// the failure costs no extra restart budget.
+			s.RestoreFallbacks++
+		}
+	}
+	p, err = s.coldBoot()
+	return p, false, err
+}
+
+// coldBoot creates a fresh process per the respawn policy.
+func (s *Supervisor) coldBoot() (*kernel.Process, error) {
 	switch s.Policy.Respawn {
 	case RespawnFork:
 		if s.template == nil {
@@ -194,14 +252,15 @@ func (s *Supervisor) RunCtx(ctx context.Context, mutate func(attempt int, p *ker
 			s.Downtime += backoff
 		}
 		var err error
-		p, err = s.next()
+		var restored bool
+		p, restored, err = s.next()
 		if err != nil {
 			return nil, err
 		}
 		if mutate != nil {
 			mutate(n, p)
 		}
-		runErr := p.RunCtx(ctx, budget)
+		runErr := s.runAttempt(ctx, p, budget)
 		if runErr != nil && p.Kill == nil && !errors.Is(runErr, kernel.ErrCancelled) {
 			// The watchdog (or another budget-style kill) fired without
 			// a machine fault; synthesize the post-mortem the kernel
@@ -217,6 +276,7 @@ func (s *Supervisor) RunCtx(ctx context.Context, mutate func(attempt int, p *ker
 			Kill:     p.Kill,
 			ExitCode: p.ExitCode,
 			Output:   append([]byte(nil), p.Output...),
+			Restored: restored,
 		})
 		if runErr == nil {
 			return p, nil
@@ -227,6 +287,63 @@ func (s *Supervisor) RunCtx(ctx context.Context, mutate func(attempt int, p *ker
 		lastErr = runErr
 	}
 	return p, fmt.Errorf("%w after %d attempts: %w", ErrRestartsExhausted, len(s.Attempts), lastErr)
+}
+
+// runAttempt executes one attempt, committing a snapshot at every
+// CheckpointEvery-instruction slice boundary while the process is
+// still healthy. Nothing is ever committed after a fault: a killed
+// incarnation's state is exactly what an attacker just corrupted, and
+// persisting it would launder the corruption through the store.
+//
+// A commit that dies with the storage (snap.ErrCrashed) ends the
+// attempt — the simulated machine crashed mid-checkpoint — and the
+// supervision loop's next cycle heals the disk and recovers. Other
+// commit errors are counted and the attempt keeps running;
+// checkpointing is best-effort, crashing the service over a full disk
+// would invert the availability story.
+func (s *Supervisor) runAttempt(ctx context.Context, p *kernel.Process, budget uint64) error {
+	if s.Snapshots == nil || s.CheckpointEvery == 0 {
+		return p.RunCtx(ctx, budget)
+	}
+	var executed uint64
+	for {
+		slice := s.CheckpointEvery
+		if rem := budget - executed; rem < slice {
+			slice = rem
+		}
+		if slice == 0 {
+			return cpu.ErrStepLimit // the watchdog, at slice granularity
+		}
+		before := instrs(p)
+		err := p.RunCtx(ctx, slice)
+		executed += instrs(p) - before
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, cpu.ErrStepLimit) {
+			return err
+		}
+		if executed >= budget {
+			return cpu.ErrStepLimit
+		}
+		if _, cerr := s.Snapshots.CommitProcess(p); cerr != nil {
+			s.CommitErrs++
+			if errors.Is(cerr, snap.ErrCrashed) {
+				return fmt.Errorf("machine died mid-checkpoint: %w", cerr)
+			}
+			continue
+		}
+		s.Commits++
+	}
+}
+
+// instrs sums retired instructions across the process's tasks.
+func instrs(p *kernel.Process) uint64 {
+	var n uint64
+	for _, t := range p.Tasks {
+		n += t.M.Instrs
+	}
+	return n
 }
 
 // Crashes counts the attempts that did not exit cleanly.
