@@ -1,39 +1,54 @@
 #!/bin/sh
 # bench.sh — record one point of the performance trajectory.
 #
-# Writes BENCH_<n>.json (n = first unused index) with the two headline
+# Writes BENCH_<n>.json (n = first unused index) with the headline
 # numbers the perf PRs are tracked by:
 #
-#   engine_mips          simulated MIPS from BenchmarkEngine: raw
-#                        execution-engine throughput on a PACStack-
-#                        instrumented SPEC workload
-#   table2_wall_seconds  wall time of one full Table 2 regeneration
-#                        (every benchmark under every scheme), from
-#                        BenchmarkTable2
+#   engine_mips            simulated MIPS from BenchmarkEngine: raw
+#                          execution-engine throughput on a PACStack-
+#                          instrumented SPEC workload, telemetry
+#                          detached (the Nop path)
+#   engine_mips_telemetry  the same workload with the full live
+#                          telemetry bundle wired (registry counters
+#                          on every kernel hook plus chain counters
+#                          in the authenticator)
+#   telemetry_overhead     1 - engine_mips_telemetry/engine_mips: the
+#                          fractional cost of running instrumented
+#   table2_wall_seconds    wall time of one full Table 2 regeneration
+#                          (every benchmark under every scheme), from
+#                          BenchmarkTable2
 #
 # Compare against the previous BENCH_*.json before and after touching
-# the interpreter, the PA model, or the experiment drivers.
+# the interpreter, the PA model, the telemetry hooks, or the
+# experiment drivers.
 set -eu
 cd "$(dirname "$0")"
 
 n=0
 while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
 
-out=$(go test -run=NONE -bench='^(BenchmarkEngine|BenchmarkTable2)$' -benchtime=3x .)
+out=$(go test -run=NONE -bench='^(BenchmarkEngine|BenchmarkEngineTelemetry|BenchmarkTable2)$' -benchtime=3x .)
 printf '%s\n' "$out"
 
-mips=$(printf '%s\n' "$out" | awk '$1 ~ /^BenchmarkEngine/ {for (i = 1; i < NF; i++) if ($(i + 1) == "MIPS") v = $i} END {print v}')
+# Benchmark names carry a -GOMAXPROCS suffix (BenchmarkEngine-8), so
+# anchor the plain-engine match on that dash to keep the Telemetry
+# variant out of it.
+mips=$(printf '%s\n' "$out" | awk '$1 ~ /^BenchmarkEngine(-|$)/ {for (i = 1; i < NF; i++) if ($(i + 1) == "MIPS") v = $i} END {print v}')
+tmips=$(printf '%s\n' "$out" | awk '$1 ~ /^BenchmarkEngineTelemetry/ {for (i = 1; i < NF; i++) if ($(i + 1) == "MIPS") v = $i} END {print v}')
 t2ns=$(printf '%s\n' "$out" | awk '$1 ~ /^BenchmarkTable2/ {for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") v = $i} END {print v}')
-[ -n "$mips" ] && [ -n "$t2ns" ] || { echo "bench.sh: could not parse benchmark output" >&2; exit 1; }
+[ -n "$mips" ] && [ -n "$tmips" ] && [ -n "$t2ns" ] || { echo "bench.sh: could not parse benchmark output" >&2; exit 1; }
 t2s=$(awk "BEGIN {printf \"%.3f\", $t2ns / 1e9}")
+overhead=$(awk "BEGIN {printf \"%.4f\", 1 - $tmips / $mips}")
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-cat > "BENCH_${n}.json" <<EOF
+cat > "BENCH_${n}.json" <<JSON
 {
   "bench": ${n},
   "commit": "${commit}",
   "engine_mips": ${mips},
+  "engine_mips_telemetry": ${tmips},
+  "telemetry_overhead": ${overhead},
   "table2_wall_seconds": ${t2s}
 }
-EOF
-echo "wrote BENCH_${n}.json (engine ${mips} MIPS, Table 2 in ${t2s}s)"
+JSON
+echo "wrote BENCH_${n}.json (engine ${mips} MIPS nop / ${tmips} MIPS telemetry, overhead ${overhead}, Table 2 in ${t2s}s)"

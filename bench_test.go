@@ -32,6 +32,7 @@ import (
 	"pacstack/internal/oracle"
 	"pacstack/internal/pa"
 	"pacstack/internal/stats"
+	"pacstack/internal/telemetry"
 	"pacstack/internal/workload"
 )
 
@@ -54,6 +55,62 @@ func BenchmarkEngine(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		k := kernel.New(pa.DefaultConfig())
 		k.Seed(1)
+		proc, err := img.Boot(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := proc.Run(50_000_000); err != nil {
+			b.Fatal(err)
+		}
+		instrs += proc.Tasks[0].M.Instrs
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(instrs)/secs/1e6, "MIPS")
+	}
+}
+
+// BenchmarkEngineTelemetry is BenchmarkEngine with the full live
+// telemetry bundle wired: kernel counters on every hook site plus
+// per-operation chain counters in the authenticator. BenchmarkEngine
+// above runs with telemetry detached (the Nop path — one predictable
+// branch per hook) and must stay within noise of its pre-telemetry
+// baseline; this variant prices the instrumented path, and bench.sh
+// records both numbers plus the overhead delta.
+func BenchmarkEngineTelemetry(b *testing.B) {
+	bench := workload.SPEC[0]
+	img, err := compile.Compile(bench.Program(cpu.DefaultCostModel()),
+		compile.SchemePACStack, compile.DefaultLayout())
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := telemetry.New(telemetry.Options{})
+	reg := set.Registry()
+	tel := &kernel.Telemetry{
+		Quanta:        reg.Counter("pacstack_kernel_quanta_total", "scheduler quanta dispatched"),
+		Instrs:        reg.Counter("pacstack_kernel_instrs_total", "instructions retired"),
+		Cancels:       reg.Counter("pacstack_kernel_cancels_total", "context-cancelled runs"),
+		Kills:         reg.CounterVec("pacstack_kernel_kills_total", "kills by class", "class"),
+		Signals:       reg.Counter("pacstack_kernel_signals_total", "signal frames delivered"),
+		SigframeBinds: reg.Counter("pacstack_kernel_sigframe_binds_total", "sigreturn chain bindings"),
+		Spawns:        reg.Counter("pacstack_kernel_spawns_total", "tasks spawned"),
+		Chain: &pa.Trace{
+			PACIssued: reg.Counter("pacstack_pa_pac_issued_total", "pac* seals"),
+			AuthOK:    reg.Counter("pacstack_pa_auth_ok_total", "aut* passes"),
+			AuthFail:  reg.Counter("pacstack_pa_auth_fail_total", "aut* rejections"),
+			Masks:     reg.Counter("pacstack_pa_masks_total", "PAC mask derivations"),
+			MemoHit:   reg.Counter("pacstack_pa_memo_hits_total", "memoized computePAC hits"),
+			MemoMiss:  reg.Counter("pacstack_pa_memo_misses_total", "full cipher evaluations"),
+			Strips:    reg.Counter("pacstack_pa_strips_total", "xpac strips"),
+			PACGAs:    reg.Counter("pacstack_pa_pacga_total", "generic MACs"),
+		},
+		Events: set.Log(),
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		k := kernel.New(pa.DefaultConfig())
+		k.Seed(1)
+		k.SetTelemetry(tel)
 		proc, err := img.Boot(k)
 		if err != nil {
 			b.Fatal(err)

@@ -16,16 +16,22 @@ go test -run=NONE -bench=. -benchtime=1x ./...
 # (a request that never reached a terminal state); the double run plus
 # cmp enforces the byte-identical-report reproducibility criterion.
 SOAK_FLAGS="-clients 6 -requests 12 -seed 7 -chaos-rate 0.1 -heal 1"
-go run -race ./cmd/pacstack-soak $SOAK_FLAGS -check > /tmp/pacstack-soak-a.txt
-go run -race ./cmd/pacstack-soak $SOAK_FLAGS -check > /tmp/pacstack-soak-b.txt
+go run -race ./cmd/pacstack-soak $SOAK_FLAGS -check -telemetry-dump /tmp/pacstack-tel-a.json > /tmp/pacstack-soak-a.txt
+go run -race ./cmd/pacstack-soak $SOAK_FLAGS -check -telemetry-dump /tmp/pacstack-tel-b.json > /tmp/pacstack-soak-b.txt
 cmp /tmp/pacstack-soak-a.txt /tmp/pacstack-soak-b.txt
-rm -f /tmp/pacstack-soak-a.txt /tmp/pacstack-soak-b.txt
+# Telemetry determinism: the same double run must emit byte-identical
+# metrics + security-event dumps — counters from the parallel phase
+# commute, events come only from the serial virtual-time replay, and
+# the injected clock keeps wall time out of both.
+cmp /tmp/pacstack-tel-a.json /tmp/pacstack-tel-b.json
+rm -f /tmp/pacstack-soak-a.txt /tmp/pacstack-soak-b.txt /tmp/pacstack-tel-a.json /tmp/pacstack-tel-b.json
 
 # Crash-consistency gate: the torn-write crash matrix (every commit-
 # protocol offset x 8 seeds, plus seeded bit rot / truncation /
 # duplicate-rename faults). The binary exits non-zero on any silent
 # restore, replay divergence, or recovery panic; the double run plus
-# cmp enforces that the campaign itself is deterministic.
+# cmp enforces that the campaign itself is deterministic — including
+# the store-telemetry dump embedded in the -json report.
 go run -race ./cmd/pacstack-snap -crash-matrix -json > /tmp/pacstack-snap-a.json
 go run -race ./cmd/pacstack-snap -crash-matrix -json > /tmp/pacstack-snap-b.json
 cmp /tmp/pacstack-snap-a.json /tmp/pacstack-snap-b.json

@@ -1,0 +1,224 @@
+// Command pacstack-metrics is the telemetry snapshot and diff tool.
+// It reads a telemetry dump — from a running pacstack-serve daemon
+// (GET /v1/telemetry) or from a dump file written by
+// `pacstack-soak -telemetry-dump` — and renders it, or diffs two
+// dumps to show exactly which counters moved between them.
+//
+// Usage:
+//
+//	pacstack-metrics [-o prom|json|events] SOURCE
+//	pacstack-metrics -diff OLD NEW
+//
+// SOURCE (and OLD/NEW) is either a dump-file path or an http(s) URL;
+// a bare base URL like http://localhost:8437 gets /v1/telemetry
+// appended. Output formats:
+//
+//	prom    Prometheus text exposition of the metrics section (default)
+//	json    the full dump, indented
+//	events  the security event ring only
+//
+// The diff lists every series whose value changed, plus histogram
+// count/sum deltas, gauge old -> new transitions, and the event-ring
+// movement (records appended, records dropped). Exit status 0 means
+// the diff is empty; 3 means something changed — scriptable as a
+// "did any security events fire during this window?" probe.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+
+	"pacstack/internal/telemetry"
+)
+
+// load fetches a telemetry dump from a file path or an http(s) URL.
+func load(src string) (telemetry.Dump, error) {
+	var d telemetry.Dump
+	var raw []byte
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		u, err := url.Parse(src)
+		if err != nil {
+			return d, err
+		}
+		if u.Path == "" || u.Path == "/" {
+			u.Path = "/v1/telemetry"
+		}
+		resp, err := http.Get(u.String())
+		if err != nil {
+			return d, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return d, fmt.Errorf("GET %s: %s", u, resp.Status)
+		}
+		if raw, err = io.ReadAll(resp.Body); err != nil {
+			return d, err
+		}
+	} else {
+		var err error
+		if raw, err = os.ReadFile(src); err != nil {
+			return d, err
+		}
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return d, fmt.Errorf("%s: not a telemetry dump: %w", src, err)
+	}
+	return d, nil
+}
+
+// seriesKey identifies one series across two snapshots: family name
+// plus its rendered label set (labels are sorted at Gather time).
+func seriesKey(fam string, labels []telemetry.Label) string {
+	if len(labels) == 0 {
+		return fam
+	}
+	var b strings.Builder
+	b.WriteString(fam)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// point is one series' value in a form diffable across snapshots.
+type point struct {
+	typ   string
+	value uint64 // counter value or histogram count
+	gauge int64
+	sum   uint64 // histogram sum
+}
+
+func index(snap telemetry.MetricsSnapshot) map[string]point {
+	m := make(map[string]point)
+	for _, f := range snap.Families {
+		for _, s := range f.Series {
+			p := point{typ: f.Type}
+			switch f.Type {
+			case "counter":
+				p.value = s.Value
+			case "gauge":
+				p.gauge = s.GaugeValue
+			case "histogram":
+				p.value = s.Count
+				p.sum = s.Sum
+			}
+			m[seriesKey(f.Name, s.Labels)] = p
+		}
+	}
+	return m
+}
+
+// diff prints every changed series and reports whether anything moved.
+func diff(w io.Writer, old, new telemetry.Dump) bool {
+	before, after := index(old.Metrics), index(new.Metrics)
+	keys := make([]string, 0, len(after))
+	for k := range after {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	changed := false
+	for _, k := range keys {
+		b, a := before[k], after[k] // missing-before reads as zero
+		switch a.typ {
+		case "counter":
+			if a.value != b.value {
+				fmt.Fprintf(w, "%-64s %+d\n", k, int64(a.value-b.value))
+				changed = true
+			}
+		case "gauge":
+			if a.gauge != b.gauge {
+				fmt.Fprintf(w, "%-64s %d -> %d\n", k, b.gauge, a.gauge)
+				changed = true
+			}
+		case "histogram":
+			if a.value != b.value || a.sum != b.sum {
+				fmt.Fprintf(w, "%-64s count %+d sum %+d\n", k, int64(a.value-b.value), int64(a.sum-b.sum))
+				changed = true
+			}
+		}
+	}
+	// Series that vanished (a daemon restart) are worth flagging: the
+	// whole registry reset, so deltas above are against zero history.
+	for k := range before {
+		if _, ok := after[k]; !ok {
+			fmt.Fprintf(w, "%-64s (gone: registry reset?)\n", k)
+			changed = true
+		}
+	}
+
+	recs := int64(new.Events.NextSeq - old.Events.NextSeq)
+	drops := int64(new.Events.Dropped - old.Events.Dropped)
+	if recs != 0 || drops != 0 {
+		fmt.Fprintf(w, "%-64s %+d recorded, %+d dropped\n", "events", recs, drops)
+		changed = true
+	}
+	return changed
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pacstack-metrics: ")
+	format := flag.String("o", "prom", "output format: prom, json, or events")
+	doDiff := flag.Bool("diff", false, "diff two dumps: pacstack-metrics -diff OLD NEW")
+	flag.Parse()
+
+	if *doDiff {
+		if flag.NArg() != 2 {
+			log.Fatal("-diff needs exactly two sources: OLD NEW")
+		}
+		old, err := load(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur, err := load(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if diff(os.Stdout, old, cur) {
+			os.Exit(3)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		log.Fatal("need one source: a dump file or a daemon URL (see -h)")
+	}
+	d, err := load(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *format {
+	case "prom":
+		if err := telemetry.WritePrometheus(os.Stdout, d.Metrics); err != nil {
+			log.Fatal(err)
+		}
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			log.Fatal(err)
+		}
+	case "events":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d.Events); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -o %q (want prom, json, or events)", *format)
+	}
+}

@@ -13,9 +13,12 @@
 //
 // Endpoints:
 //
-//	POST /v1/run    {"workload":"chain","scheme":"pacstack","seed":7}
-//	GET  /v1/stats  counter snapshot (requests, detections, sheds, ...)
-//	GET  /healthz   200, or 503 once draining
+//	POST /v1/run        {"workload":"chain","scheme":"pacstack","seed":7}
+//	GET  /v1/stats      counter snapshot (requests, detections, sheds, ...)
+//	GET  /metrics       Prometheus text exposition of the telemetry registry
+//	GET  /events        security event ring (auth failures, kills, ...) as JSON
+//	GET  /v1/telemetry  combined metrics + events dump (pacstack-metrics reads it)
+//	GET  /healthz       200, or 503 once draining
 //
 // Usage:
 //

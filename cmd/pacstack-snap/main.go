@@ -12,7 +12,10 @@
 // uninterrupted run.
 //
 // The report is a pure function of the flags: run it twice and the
-// output is byte-identical, which is how check.sh gates on it.
+// output is byte-identical, which is how check.sh gates on it. The
+// -json report embeds the campaign's telemetry dump (store commits,
+// recoveries, anomaly tallies by kind) under a pinned clock, so the
+// same double-run cmp also proves the telemetry deterministic.
 //
 // Usage:
 //
@@ -33,6 +36,7 @@ import (
 	"pacstack/internal/harness"
 	"pacstack/internal/serve"
 	"pacstack/internal/snap"
+	"pacstack/internal/telemetry"
 )
 
 func main() {
@@ -53,18 +57,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The matrix has no timeline — pin the clock to zero so the
+	// embedded telemetry dump is a pure function of the flags.
+	tel := telemetry.New(telemetry.Options{Clock: func() uint64 { return 0 }})
 	rep, err := snap.RunMatrix(snap.MatrixConfig{
 		Seeds:        *seeds,
 		BaseSeed:     *baseSeed,
 		Scheme:       sc,
 		ImageSamples: *samples,
+		Tel:          snap.NewTelemetry(tel.Registry()),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	if *asJSON {
-		out, err := json.MarshalIndent(rep, "", "  ")
+		out, err := json.MarshalIndent(struct {
+			*snap.MatrixReport
+			Telemetry telemetry.Dump `json:"telemetry"`
+		}{rep, tel.Dump()}, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}

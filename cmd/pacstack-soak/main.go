@@ -14,11 +14,18 @@
 //	              [-chaos-kinds LIST] [-heal N] [-workers N] [-queue N]
 //	              [-retries N] [-breaker-threshold N]
 //	              [-checkpoint-every N] [-checkpoint-crash F]
-//	              [-json] [-check]
+//	              [-json] [-check] [-telemetry-dump PATH]
 //
 // With -check, the exit status enforces the robustness acceptance
 // criteria: non-zero if any silent corruption was recorded or the run
-// was not graceful (some request never reached a terminal state).
+// was not graceful (some request never reached a terminal state). On
+// failure the full report is written to a temp file and its path
+// printed, so a failing gate leaves something to diff.
+//
+// With -telemetry-dump, the run's full telemetry (virtual-time
+// metrics registry plus security event ring) is written to PATH as
+// JSON — byte-identical for one seed, which is what the check.sh
+// double-run cmp gate rests on.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 
 	"pacstack/internal/harness"
 	"pacstack/internal/serve"
+	"pacstack/internal/telemetry"
 )
 
 func main() {
@@ -53,11 +61,16 @@ func main() {
 	brThreshold := flag.Int("breaker-threshold", 8, "breaker threshold in the traffic model (<0: disabled)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of the table")
 	check := flag.Bool("check", false, "exit non-zero on silent corruption or a non-graceful run")
+	telemetryDump := flag.String("telemetry-dump", "", "write the run's telemetry (metrics + events) as JSON to this path")
 	flag.Parse()
 
 	kinds, err := serve.ParseKinds(*chaosKinds)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var tel *telemetry.Set
+	if *telemetryDump != "" {
+		tel = telemetry.New(telemetry.Options{})
 	}
 	rep, err := serve.Soak(context.Background(), serve.SoakConfig{
 		Clients:          *clients,
@@ -74,9 +87,23 @@ func main() {
 		Queue:            *queue,
 		Retries:          *retries,
 		BreakerThreshold: *brThreshold,
+		Telemetry:        tel,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *telemetryDump != "" {
+		f, err := os.Create(*telemetryDump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tel.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *asJSON {
@@ -90,14 +117,26 @@ func main() {
 	}
 
 	if *check {
-		if rep.Silent != 0 {
-			log.Printf("CHECK FAILED: %d silent corruption(s)", rep.Silent)
+		fail := func(format string, args ...any) {
+			log.Printf(format, args...)
+			// Leave the full report on disk so the failure can be
+			// diffed against a known-good run.
+			if f, err := os.CreateTemp("", "pacstack-soak-failed-*.json"); err == nil {
+				enc := json.NewEncoder(f)
+				enc.SetIndent("", "  ")
+				if enc.Encode(rep) == nil {
+					log.Printf("failing report written to %s", f.Name())
+				}
+				f.Close()
+			}
 			os.Exit(1)
 		}
+		if rep.Silent != 0 {
+			fail("CHECK FAILED: %d silent corruption(s)", rep.Silent)
+		}
 		if !rep.Graceful() {
-			log.Printf("CHECK FAILED: run not graceful (%d in flight, %d unaccounted)",
+			fail("CHECK FAILED: run not graceful (%d in flight, %d unaccounted)",
 				rep.InFlightAtEnd, rep.Issued-(rep.OK+rep.Detected+rep.Silent+rep.GaveUp))
-			os.Exit(1)
 		}
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"pacstack/internal/isa"
 	"pacstack/internal/mem"
 	"pacstack/internal/pa"
+	"pacstack/internal/telemetry"
 )
 
 // System call numbers (SVC immediates).
@@ -65,6 +66,7 @@ var ErrCancelled = errors.New("kernel: run cancelled")
 type Kernel struct {
 	cfg pa.Config
 	rng *mrand.Rand // nil: cryptographic entropy
+	tel *Telemetry  // nil: telemetry disabled
 }
 
 // New returns a kernel configured with the given PA parameters.
@@ -194,6 +196,9 @@ func (k *Kernel) NewProcess(prog *isa.Program, m *mem.Memory, entry, sp uint64) 
 		keys:    keys,
 		nextPID: &pidCounter,
 	}
+	if k.tel != nil {
+		p.Auth.SetTrace(k.tel.Chain)
+	}
 	p.spawn(entry, sp)
 	return p
 }
@@ -270,6 +275,9 @@ func (p *Process) Children() []*Process { return p.children }
 func (p *Process) Exec(prog *isa.Program, m *mem.Memory, entry, sp uint64) {
 	p.keys = p.k.genKeys()
 	p.Auth = pa.New(p.keys, p.k.cfg)
+	if p.k.tel != nil {
+		p.Auth.SetTrace(p.k.tel.Chain)
+	}
 	p.Mem = m
 	p.Prog = prog
 	p.Tasks = nil
@@ -319,10 +327,17 @@ func (p *Process) Run(maxInstrs uint64) error {
 func (p *Process) RunCtx(ctx context.Context, maxInstrs uint64) error {
 	done := ctx.Done()
 	executed := uint64(0)
+	tel := p.k.tel
+	if tel != nil {
+		defer func() { tel.Instrs.Add(executed) }()
+	}
 	cur := 0
 	for p.Alive() {
 		select {
 		case <-done:
+			if tel != nil {
+				tel.Cancels.Inc()
+			}
 			return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
 		default:
 		}
@@ -333,6 +348,9 @@ func (p *Process) RunCtx(ctx context.Context, maxInstrs uint64) error {
 		cur++
 		if t.Done {
 			continue
+		}
+		if tel != nil {
+			tel.Quanta.Inc()
 		}
 		// Context switch in: the task's registers were sitting in the
 		// kernel task struct the whole time.
@@ -358,6 +376,7 @@ func (p *Process) RunCtx(ctx context.Context, maxInstrs uint64) error {
 func (p *Process) recordKill(t *Task, cause error) {
 	sym, _ := p.Prog.SymbolFor(t.M.PC)
 	p.Kill = &KillInfo{TaskID: t.ID, PC: t.M.PC, Symbol: sym, Cause: cause}
+	p.k.tel.killRecorded(p.Kill)
 }
 
 // Cycles returns the total cycle count across all tasks.
@@ -389,6 +408,10 @@ func (p *Process) syscall(t *Task, imm int64) error {
 		// accounted for by the syscall cost.
 	case SysSpawn:
 		nt := p.spawn(m.Reg(isa.X0), m.Reg(isa.X1))
+		if tel := p.k.tel; tel != nil {
+			tel.Spawns.Inc()
+			tel.Events.Record(telemetry.EvReseed, "spawn", "", uint64(nt.ID))
+		}
 		// The child inherits the caller's callee-saved registers so
 		// PACStack's CR re-seeding (Section 4.3) is observable.
 		regs := m.Regs()

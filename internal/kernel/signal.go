@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pacstack/internal/isa"
+	"pacstack/internal/telemetry"
 )
 
 // Signal frame layout, in 64-bit words from the frame base (which is
@@ -113,6 +114,14 @@ func (p *Process) DeliverSignal(t *Task, signo uint64, handler, trampoline uint6
 		t.sigRefs = append(t.sigRefs, p.fullFrameRef(m.PC, regs, packFlags(m.N, m.Z, m.C, m.V), prev))
 	case p.HardenedSigreturn:
 		t.sigRefs = append(t.sigRefs, p.chainRef(m.PC, m.Reg(isa.CR), prev))
+	}
+
+	if tel := p.k.tel; tel != nil {
+		tel.Signals.Inc()
+		if p.HardenedSigreturn || p.FullFrameSigreturn {
+			tel.SigframeBinds.Inc()
+			tel.Events.Record(telemetry.EvSigframeBind, "", "", m.PC)
+		}
 	}
 
 	m.PC = handler

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"pacstack/internal/qarma"
+	"pacstack/internal/telemetry"
 )
 
 // KeyID names one of the five PA keys of ARMv8.3-A.
@@ -165,6 +166,36 @@ const signBit = 55
 // extension bits (Section 6.3.1, Listing 7).
 const poisonBit = 0
 
+// Trace is the chain-level telemetry hook: counters over the PA
+// operations that make up the paper's authenticated chain, plus an
+// optional event log for per-operation security events. All fields
+// are optional (nil handles record nothing), and a nil *Trace on the
+// Authenticator costs exactly one predictable branch per operation —
+// the telemetry.Nop contract.
+//
+// Masks counts PAC derivations over the zero pointer: under full ACS
+// (Listing 3) the mask applied to and stripped from aret is
+// PAC(0, aret_{i-1}), so every mask/unmask side evaluates exactly
+// this shape. Apply and strip derive the same value (XOR is an
+// involution), so one counter covers both.
+type Trace struct {
+	PACIssued *telemetry.Counter // pac* seals
+	AuthOK    *telemetry.Counter // aut* verifications that passed
+	AuthFail  *telemetry.Counter // aut* rejections — the core signal
+	Masks     *telemetry.Counter // PAC(0, ·) mask derivations
+	MemoHit   *telemetry.Counter // computePAC served from the memo cache
+	MemoMiss  *telemetry.Counter // computePAC evaluated the full cipher
+	Strips    *telemetry.Counter // xpac strips
+	PACGAs    *telemetry.Counter // generic MACs (sigframe chain, jmp_buf)
+
+	// Events, when non-nil, receives per-operation chain events
+	// (pac_issued, auth_ok, auth_fail, mask). At serving rates this
+	// floods a bounded ring quickly — that is what the ring's drop
+	// accounting is for — so serving-path wirings usually leave it
+	// nil and keep only the counters.
+	Events *telemetry.EventLog
+}
+
 // Authenticator implements the PA instructions for one process' key
 // set under a fixed configuration. It is safe for concurrent use.
 type Authenticator struct {
@@ -174,7 +205,13 @@ type Authenticator struct {
 	extMask uint64 // all non-address bits above VASize (incl. sign bit)
 	tagMask uint64 // top-byte tag bits when tagging is enabled
 	cache   []pacEntry
+	tr      *Trace
 }
+
+// SetTrace wires chain-level telemetry in (nil detaches it). Call it
+// before the process runs: the field is read without synchronisation
+// on the hot path, so flipping it mid-execution is a race.
+func (a *Authenticator) SetTrace(t *Trace) { a.tr = t }
 
 // pacCacheSize is the number of direct-mapped memo entries per
 // Authenticator (power of two). Sized so the working set of a deep
@@ -279,8 +316,14 @@ func (a *Authenticator) computePAC(key KeyID, p, modifier uint64) uint64 {
 		e.key.Load() == uint64(key) && e.ptr.Load() == cp && e.mod.Load() == modifier {
 		v := e.val.Load()
 		if e.seq.Load() == s {
+			if a.tr != nil {
+				a.tr.MemoHit.Inc()
+			}
 			return v
 		}
+	}
+	if a.tr != nil {
+		a.tr.MemoMiss.Inc()
 	}
 	v := a.pacFor(key, cp, modifier)
 	if s := e.seq.Load(); s&1 == 0 && e.seq.CompareAndSwap(s, s+1) {
@@ -340,6 +383,16 @@ func (a *Authenticator) AddPAC(key KeyID, p, modifier uint64) uint64 {
 	if !a.IsCanonical(p) {
 		pac ^= a.nthPACBit(poisonBit)
 	}
+	if tr := a.tr; tr != nil {
+		tr.PACIssued.Inc()
+		if a.Canonical(p) == 0 {
+			// PAC over the zero pointer: the Listing 3 mask shape.
+			tr.Masks.Inc()
+			tr.Events.Record(telemetry.EvMask, key.String(), "", modifier)
+		} else {
+			tr.Events.Record(telemetry.EvPACIssued, key.String(), "", p)
+		}
+	}
 	return a.Canonical(p)&^a.pacMask | pac
 }
 
@@ -362,7 +415,17 @@ func (a *Authenticator) nthPACBit(n int) uint64 {
 func (a *Authenticator) Auth(key KeyID, p, modifier uint64) (res uint64, ok bool) {
 	want := a.computePAC(key, p, modifier)
 	if p&a.pacMask == want {
+		if tr := a.tr; tr != nil {
+			tr.AuthOK.Inc()
+			tr.Events.Record(telemetry.EvAuthOK, key.String(), "", p)
+		}
 		return a.Canonical(p), true
+	}
+	if tr := a.tr; tr != nil {
+		// A broken auth_i = H_k(ret_i, aret_{i-1}) link — the event
+		// the whole scheme exists to raise.
+		tr.AuthFail.Inc()
+		tr.Events.Record(telemetry.EvAuthFail, key.String(), "", p)
 	}
 	bad := a.Canonical(p)
 	switch key {
@@ -377,6 +440,9 @@ func (a *Authenticator) Auth(key KeyID, p, modifier uint64) (res uint64, ok bool
 // StripPAC implements xpac: it removes the PAC, restoring the
 // canonical pointer without any check.
 func (a *Authenticator) StripPAC(p uint64) uint64 {
+	if a.tr != nil {
+		a.tr.Strips.Inc()
+	}
 	return a.Canonical(p)
 }
 
@@ -384,6 +450,9 @@ func (a *Authenticator) StripPAC(p uint64) uint64 {
 // (value, modifier) under the GA key, placed in the top half of the
 // result with the bottom half zero.
 func (a *Authenticator) PACGA(value, modifier uint64) uint64 {
+	if a.tr != nil {
+		a.tr.PACGAs.Inc()
+	}
 	ct := a.ciphers[KeyGA].Encrypt(value, modifier)
 	return (ct ^ ct<<32) & 0xFFFFFFFF00000000
 }

@@ -43,6 +43,12 @@ type BreakerConfig struct {
 	// HalfOpenProbes is how many concurrent probes half-open admits;
 	// 0 means 1.
 	HalfOpenProbes int
+	// OnTransition, when non-nil, is called on every state change with
+	// the driving timestamp and the states either side. It runs with
+	// the breaker's lock held: it must be fast and must not call back
+	// into the breaker. The telemetry layer hangs its gauge updates and
+	// event records here.
+	OnTransition func(now uint64, from, to BreakerState)
 }
 
 // Breaker is a per-backend circuit breaker. It holds no clock: every
@@ -86,6 +92,9 @@ func (b *Breaker) Allow(now uint64) bool {
 		}
 		b.state = BreakerHalfOpen
 		b.probes = 0
+		if b.cfg.OnTransition != nil {
+			b.cfg.OnTransition(now, BreakerOpen, BreakerHalfOpen)
+		}
 		fallthrough
 	default: // half-open
 		if b.probes >= b.cfg.HalfOpenProbes {
@@ -104,7 +113,12 @@ func (b *Breaker) Record(now uint64, ok bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if ok {
-		b.state = BreakerClosed
+		if from := b.state; from != BreakerClosed {
+			b.state = BreakerClosed
+			if b.cfg.OnTransition != nil {
+				b.cfg.OnTransition(now, from, BreakerClosed)
+			}
+		}
 		b.fails = 0
 		return
 	}
@@ -123,10 +137,14 @@ func (b *Breaker) Record(now uint64, ok bool) {
 
 // open transitions to the open state. Callers hold b.mu.
 func (b *Breaker) open(now uint64) {
+	from := b.state
 	b.state = BreakerOpen
 	b.until = now + b.cfg.Cooldown
 	b.fails = 0
 	b.opens++
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(now, from, BreakerOpen)
+	}
 }
 
 // State returns the current state as of time now (an open breaker

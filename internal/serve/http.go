@@ -1,10 +1,13 @@
 // HTTP/JSON surface: POST /v1/run executes one workload, GET /v1/stats
-// exposes the counter snapshot, GET /healthz flips to 503 once draining
-// so load balancers stop routing here during shutdown. Every typed
-// failure of the pipeline maps to a distinct status code — the point is
-// that a client can tell "your request found a corrupted victim" (502)
-// from "we are overloaded, back off" (429) from "we are going away"
-// (503) without parsing prose.
+// exposes the counter snapshot, GET /metrics is the Prometheus-text
+// exposition of the telemetry registry, GET /events is the security
+// event ring as JSON, GET /v1/telemetry is the combined dump
+// (cmd/pacstack-metrics consumes it), and GET /healthz flips to 503
+// once draining so load balancers stop routing here during shutdown.
+// Every typed failure of the pipeline maps to a distinct status code —
+// the point is that a client can tell "your request found a corrupted
+// victim" (502) from "we are overloaded, back off" (429) from "we are
+// going away" (503) without parsing prose.
 
 package serve
 
@@ -15,6 +18,7 @@ import (
 	"net/http"
 
 	"pacstack/internal/resilience"
+	"pacstack/internal/telemetry"
 )
 
 // maxBodyBytes bounds the request body; run requests are tiny.
@@ -79,8 +83,24 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /v1/telemetry", s.handleTelemetry)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(telemetry.Prometheus(s.tel.Registry().Gather())))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.tel.Log().Snapshot())
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.tel.Dump())
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {

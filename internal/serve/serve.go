@@ -42,6 +42,7 @@ import (
 	"pacstack/internal/resilience"
 	"pacstack/internal/snap"
 	"pacstack/internal/supervise"
+	"pacstack/internal/telemetry"
 	"pacstack/internal/workload"
 )
 
@@ -97,6 +98,12 @@ type Config struct {
 	// HTTP layer; 0 means none.
 	Timeout time.Duration
 
+	// Telemetry receives the server's metrics and security events. Nil
+	// gets a private always-on Set, so Stats() works regardless; pass a
+	// shared Set to expose the same registry on /metrics or to merge
+	// several components into one exposition.
+	Telemetry *telemetry.Set
+
 	// BreakerThreshold consecutive backend failures open a scheme's
 	// circuit breaker for BreakerCooldown (wall-clock nanoseconds).
 	// Threshold < 0 disables breakers; 0 means the default 8.
@@ -133,6 +140,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown == 0 {
 		c.BreakerCooldown = uint64(100 * time.Millisecond)
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.New(telemetry.Options{})
 	}
 	return c
 }
@@ -227,9 +237,11 @@ type Server struct {
 	mu       sync.Mutex
 	engines  map[string]*fault.Engine
 	breakers map[compile.Scheme]*resilience.Breaker
+	ktels    map[compile.Scheme]*kernel.Telemetry
 
-	seq   atomic.Int64
-	stats stats
+	seq atomic.Int64
+	tel *telemetry.Set
+	m   metrics
 }
 
 // New returns a server for the configuration (zero values filled with
@@ -242,6 +254,9 @@ func New(cfg Config) *Server {
 		adm:      resilience.NewAdmission(cfg.Workers, cfg.Queue),
 		engines:  make(map[string]*fault.Engine),
 		breakers: make(map[compile.Scheme]*resilience.Breaker),
+		ktels:    make(map[compile.Scheme]*kernel.Telemetry),
+		tel:      cfg.Telemetry,
+		m:        newMetrics(cfg.Telemetry.Registry(), cfg.Telemetry.Log()),
 	}
 }
 
@@ -376,9 +391,16 @@ func (s *Server) breaker(sc compile.Scheme) *resilience.Breaker {
 	defer s.mu.Unlock()
 	b, ok := s.breakers[sc]
 	if !ok {
+		name := schemeName(sc)
+		transitions := s.m.breakerTransitions.Curry(name)
+		events := s.tel.Log()
 		b = resilience.NewBreaker(resilience.BreakerConfig{
 			Threshold: s.cfg.BreakerThreshold,
 			Cooldown:  s.cfg.BreakerCooldown,
+			OnTransition: func(now uint64, from, to resilience.BreakerState) {
+				transitions.With(to.String()).Inc()
+				events.Record(telemetry.EvBreaker, name, from.String()+"->"+to.String(), now)
+			},
 		})
 		s.breakers[sc] = b
 	}
@@ -412,23 +434,27 @@ func (s *Server) requestRNG(req Request) *rand.Rand {
 func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
 	eng, err := s.engine(req.Workload)
 	if err != nil {
-		s.stats.count(err)
+		s.m.count(err)
 		return nil, err
 	}
 	scheme, err := ParseScheme(req.Scheme)
 	if err != nil {
-		s.stats.count(err)
+		s.m.count(err)
 		return nil, err
 	}
 
 	br := s.breaker(scheme)
 	if br != nil && !br.Allow(s.now()) {
 		err := fmt.Errorf("%w (backend %s)", resilience.ErrBreakerOpen, schemeName(scheme))
-		s.stats.count(err)
+		s.m.count(err)
+		s.tel.Log().Record(telemetry.EvShed, schemeName(scheme), "breaker open", s.now())
 		return nil, err
 	}
 	if err := s.adm.Acquire(ctx); err != nil {
-		s.stats.count(err)
+		s.m.count(err)
+		if errors.Is(err, resilience.ErrShed) {
+			s.tel.Log().Record(telemetry.EvShed, schemeName(scheme), "queue full", s.now())
+		}
 		return nil, err
 	}
 	defer s.adm.Release()
@@ -443,9 +469,9 @@ func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
 	if br != nil {
 		br.Record(s.now(), backendHealthy(runErr))
 	}
-	s.stats.count(runErr)
+	s.m.count(runErr)
 	if runErr == nil && res != nil && res.Healed {
-		s.stats.healed()
+		s.m.healed.Inc()
 	}
 	return res, runErr
 }
@@ -483,11 +509,13 @@ func (s *Server) execute(ctx context.Context, eng *fault.Engine, scheme compile.
 
 	k := kernel.New(pa.DefaultConfig())
 	k.Seed(rng.Int63())
+	k.SetTelemetry(s.kernelTel(scheme))
 	sup := supervise.New(img, k, supervise.Policy{
 		Respawn:     supervise.RespawnExec, // fresh PA keys per incarnation (Section 4.3)
 		MaxRestarts: s.cfg.Heal,
 		Budget:      budget,
 	})
+	sup.Tel = s.m.sup
 	sup.Configure = func(p *kernel.Process) { fault.Harden(scheme, p) }
 
 	// Per-request snapshot store. The torn-crash decision and its byte
@@ -499,6 +527,7 @@ func (s *Server) execute(ctx context.Context, eng *fault.Engine, scheme compile.
 	if s.cfg.CheckpointEvery > 0 {
 		storeFS = snap.NewMemFS()
 		sup.Snapshots = snap.NewStore(storeFS)
+		sup.Snapshots.Tel = s.m.snap
 		sup.CheckpointEvery = s.cfg.CheckpointEvery
 		if s.cfg.CheckpointCrash > 0 && rng.Float64() < s.cfg.CheckpointCrash {
 			crashFrac = rng.Float64()
@@ -532,7 +561,6 @@ func (s *Server) execute(ctx context.Context, eng *fault.Engine, scheme compile.
 			injected++
 		}
 	})
-	s.stats.checkpointed(sup.Commits, sup.Restores, sup.CommitErrs)
 	if runErr != nil && errors.Is(runErr, kernel.ErrCancelled) {
 		return nil, fmt.Errorf("%w: %w", ErrDeadline, runErr)
 	}
@@ -541,6 +569,7 @@ func (s *Server) execute(ctx context.Context, eng *fault.Engine, scheme compile.
 	if err != nil {
 		return nil, err
 	}
+	s.m.cycles.Observe(proc.Cycles())
 	attempts := len(sup.Attempts)
 	switch outcome {
 	case fault.OutcomeDetected:
@@ -591,82 +620,11 @@ func (s *Server) Drain(ctx context.Context) error { return s.adm.Drain(ctx) }
 // InFlight returns the number of admitted, unfinished requests.
 func (s *Server) InFlight() int { return s.adm.InFlight() }
 
-// stats is the server's mutex-guarded counter block.
-type stats struct {
-	mu               sync.Mutex
-	requests         uint64
-	ok               uint64
-	healedN          uint64
-	detected         uint64
-	byCause          [fault.NumCauses]uint64
-	silent           uint64
-	shed             uint64
-	rejectedDraining uint64
-	breakerDenied    uint64
-	deadline         uint64
-	panics           uint64
-	badRequests      uint64
-	internal         uint64
-	checkpoints      uint64
-	restores         uint64
-	tornCommits      uint64
-}
-
-// count classifies one finished request by its typed error.
-func (st *stats) count(err error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.requests++
-	if err == nil {
-		st.ok++
-		return
-	}
-	var ce *CorruptionError
-	var se *SilentCorruptionError
-	var pe *resilience.PanicError
-	var bre *BadRequestError
-	switch {
-	case errors.As(err, &ce):
-		st.detected++
-		st.byCause[ce.Cause]++
-	case errors.As(err, &se):
-		st.silent++
-	case errors.As(err, &pe):
-		st.panics++
-	case errors.As(err, &bre):
-		st.badRequests++
-	case errors.Is(err, resilience.ErrShed):
-		st.shed++
-	case errors.Is(err, resilience.ErrDraining):
-		st.rejectedDraining++
-	case errors.Is(err, resilience.ErrBreakerOpen):
-		st.breakerDenied++
-	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		st.deadline++
-	default:
-		st.internal++
-	}
-}
-
-func (st *stats) healed() {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.healedN++
-}
-
-func (st *stats) checkpointed(commits, restores, torn int) {
-	if commits == 0 && restores == 0 && torn == 0 {
-		return
-	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.checkpoints += uint64(commits)
-	st.restores += uint64(restores)
-	st.tornCommits += uint64(torn)
-}
-
 // Snapshot is a point-in-time copy of the server counters, shaped for
-// the /v1/stats JSON surface and the shutdown report.
+// the /v1/stats JSON surface and the shutdown report. Since the
+// registry migration it is a thin read over the same telemetry handles
+// /metrics exposes; the shape (and the tests that rely on it) is
+// unchanged.
 type Snapshot struct {
 	Requests         uint64            `json:"requests"`
 	OK               uint64            `json:"ok"`
@@ -690,35 +648,34 @@ type Snapshot struct {
 	Draining         bool              `json:"draining"`
 }
 
-// Stats returns a snapshot of the server counters.
+// Stats returns a snapshot of the server counters, read from the
+// telemetry registry.
 func (s *Server) Stats() Snapshot {
-	s.stats.mu.Lock()
 	snap := Snapshot{
-		Requests:         s.stats.requests,
-		OK:               s.stats.ok,
-		Healed:           s.stats.healedN,
-		Detected:         s.stats.detected,
-		Silent:           s.stats.silent,
-		Shed:             s.stats.shed,
-		RejectedDraining: s.stats.rejectedDraining,
-		BreakerDenied:    s.stats.breakerDenied,
-		DeadlineExceeded: s.stats.deadline,
-		Panics:           s.stats.panics,
-		BadRequests:      s.stats.badRequests,
-		Internal:         s.stats.internal,
-		Checkpoints:      s.stats.checkpoints,
-		Restores:         s.stats.restores,
-		TornCommits:      s.stats.tornCommits,
+		Requests:         s.m.requests.Value(),
+		OK:               s.m.outcomes.With(outOK).Value(),
+		Healed:           s.m.healed.Value(),
+		Detected:         s.m.outcomes.With(outDetected).Value(),
+		Silent:           s.m.outcomes.With(outSilent).Value(),
+		Shed:             s.m.outcomes.With(outShed).Value(),
+		RejectedDraining: s.m.outcomes.With(outDraining).Value(),
+		BreakerDenied:    s.m.outcomes.With(outBreakerDenied).Value(),
+		DeadlineExceeded: s.m.outcomes.With(outDeadline).Value(),
+		Panics:           s.m.outcomes.With(outPanic).Value(),
+		BadRequests:      s.m.outcomes.With(outBadRequest).Value(),
+		Internal:         s.m.outcomes.With(outInternal).Value(),
+		Checkpoints:      s.m.sup.Commits.Value(),
+		Restores:         s.m.sup.Restores.Value(),
+		TornCommits:      s.m.sup.CommitErrs.Value(),
 	}
-	if s.stats.detected > 0 {
+	if snap.Detected > 0 {
 		snap.DetectedByCause = make(map[string]uint64)
-		for c := 0; c < fault.NumCauses; c++ {
-			if n := s.stats.byCause[c]; n > 0 {
-				snap.DetectedByCause[fault.Cause(c).String()] = n
+		for _, name := range causeNames() {
+			if n := s.m.byCause.With(name).Value(); n > 0 {
+				snap.DetectedByCause[name] = n
 			}
 		}
 	}
-	s.stats.mu.Unlock()
 
 	s.mu.Lock()
 	for sc, br := range s.breakers {

@@ -30,6 +30,7 @@ import (
 	"pacstack/internal/fault"
 	"pacstack/internal/par"
 	"pacstack/internal/resilience"
+	"pacstack/internal/telemetry"
 )
 
 // SoakConfig parameterises a soak run. Time-valued knobs are in
@@ -85,6 +86,15 @@ type SoakConfig struct {
 	// simulated cycles. Defaults 1_000 and 500.
 	Think    uint64
 	Overhead uint64
+
+	// Telemetry, when non-nil, receives the soak's metrics and events,
+	// stamped with virtual time (the Set's clocks are retargeted for
+	// the duration of the run). The dump after a seeded soak is
+	// byte-identical across runs and worker-pool widths: counters are
+	// bumped from the parallel precompute phase (integer adds commute),
+	// while every event is recorded from the serial virtual-time
+	// replay. The gate's double-run cmp rests on this.
+	Telemetry *telemetry.Set
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -272,10 +282,25 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		}
 	}
 
+	// Virtual-time telemetry: the Set's clocks read the replay's `now`
+	// for the whole run, so every stamp in the dump is simulated
+	// cycles. The variable is written only by the serial phase 2;
+	// phase 1 records no events and counter values carry no times.
+	vnow := uint64(0)
+	if cfg.Telemetry != nil {
+		vclock := func() uint64 { return vnow }
+		cfg.Telemetry.Registry().SetClock(vclock)
+		cfg.Telemetry.Log().SetClock(vclock)
+	}
+
 	// The executing server: admission is irrelevant here (the DES
 	// models queueing itself), so requests go straight to execute via
 	// Do-with-wide-limits. Breakers are disabled on this inner server;
-	// the DES drives its own virtual-time breaker.
+	// the DES drives its own virtual-time breaker. It shares the
+	// caller's metrics registry but gets NO event log: phase 1 runs
+	// requests on a parallel pool, and only commutative counter adds
+	// stay deterministic there — events are recorded exclusively from
+	// the serial replay below.
 	srv := New(Config{
 		Workers:          cfg.Clients + 1, // never shed in the precompute phase
 		Queue:            cfg.Clients * cfg.Requests,
@@ -287,6 +312,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		CheckpointEvery:  cfg.CheckpointEvery,
 		CheckpointCrash:  cfg.CheckpointCrash,
 		BreakerThreshold: -1,
+		Telemetry:        &telemetry.Set{Reg: cfg.Telemetry.Registry()},
 	})
 	if _, err := srv.engine(cfg.Workload); err != nil {
 		return nil, err
@@ -345,14 +371,30 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		ChaosRate: cfg.ChaosRate, Heal: cfg.Heal,
 	}
 
+	// Soak-level handles; all nil (and so no-ops) without a Set.
+	reg := cfg.Telemetry.Registry()
+	tlog := cfg.Telemetry.Log()
+	soakSheds := reg.Counter("pacstack_soak_sheds_total", "DES arrivals shed (queue full)")
+	soakRetries := reg.Counter("pacstack_soak_retries_total", "client retries after a rejection")
+	soakDenied := reg.Counter("pacstack_soak_breaker_denied_total", "DES arrivals denied by an open breaker")
+	soakGaveUp := reg.Counter("pacstack_soak_gave_up_total", "requests abandoned after the retry budget")
+	transitionsVec := reg.CounterVec("pacstack_resilience_breaker_transitions_total",
+		"circuit-breaker state changes", "scheme", "to")
+
 	var breakers map[string]*resilience.Breaker
 	if cfg.BreakerThreshold > 0 {
 		breakers = make(map[string]*resilience.Breaker, len(cfg.Schemes))
 		for _, name := range cfg.Schemes {
 			if _, ok := breakers[name]; !ok {
+				scheme := name
+				transitions := transitionsVec.Curry(scheme)
 				breakers[name] = resilience.NewBreaker(resilience.BreakerConfig{
 					Threshold: cfg.BreakerThreshold,
 					Cooldown:  cfg.BreakerCooldown,
+					OnTransition: func(at uint64, from, to resilience.BreakerState) {
+						transitions.With(to.String()).Inc()
+						tlog.Record(telemetry.EvBreaker, scheme, from.String()+"->"+to.String(), at)
+					},
 				})
 			}
 		}
@@ -417,12 +459,15 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	retryOrGiveUp := func(client, req, attempt int) {
 		if attempt >= cfg.Retries {
 			rep.GaveUp++
+			soakGaveUp.Inc()
 			row(schemeOf(req)).GaveUp++
 			row(schemeOf(req)).Requests++
 			terminal(client, req)
 			return
 		}
 		rep.Retries++
+		soakRetries.Inc()
+		tlog.Record(telemetry.EvRetry, schemeOf(req), "", uint64(attempt+1))
 		push(now+backoffs[client].Delay(attempt), evIssue, client, req, attempt+1)
 	}
 	terminal = func(client, req int) { nextRequest(client, req) }
@@ -430,11 +475,13 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	for h.Len() > 0 {
 		e := heap.Pop(h).(event)
 		now = e.at
+		vnow = now
 		switch e.kind {
 		case evIssue:
 			name := schemeOf(e.req)
 			if br := breakers[name]; br != nil && !br.Allow(now) {
 				rep.BreakerDenied++
+				soakDenied.Inc()
 				retryOrGiveUp(e.client, e.req, e.attempt)
 				continue
 			}
@@ -444,6 +491,8 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 				fifo = append(fifo, queued{e.client, e.req})
 			} else {
 				rep.Sheds++
+				soakSheds.Inc()
+				tlog.Record(telemetry.EvShed, name, "queue full", now)
 				retryOrGiveUp(e.client, e.req, e.attempt)
 			}
 		case evDone:
@@ -464,13 +513,16 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 					rep.Healed++
 					r.Healed++
 				}
+				tlog.Record(telemetry.EvRequestDone, name, "ok", o.cycles)
 			case classDetected:
 				rep.Detected++
 				rep.ByCause[o.cause]++
 				r.Detected++
+				tlog.Record(telemetry.EvRequestDone, name, "detected:"+o.cause.String(), o.cycles)
 			case classSilent:
 				rep.Silent++
 				r.Silent++
+				tlog.Record(telemetry.EvRequestDone, name, "silent", o.cycles)
 			}
 			if br := breakers[name]; br != nil {
 				br.Record(now, o.class == classOK)
@@ -489,6 +541,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	rep.Issued = cfg.Clients * cfg.Requests
 
 	rep.VirtualCycles = now
+	vnow = now // final stamp for the post-run telemetry dump
 	rep.InFlightAtEnd = busy + len(fifo)
 	for c := 0; c < fault.NumCauses; c++ {
 		if rep.ByCause[c] > 0 {

@@ -1,0 +1,171 @@
+// The server's registry wiring: every counter the old mutex-guarded
+// stats block held now lives in a telemetry.Registry, and Stats() is a
+// thin read over the same handles /metrics exposes — one source of
+// truth, two surfaces. The per-scheme kernel/pa bundles are built here
+// too, so chain traffic (pac/aut/mask, memo hits, kills by class)
+// lands in the registry labeled by the scheme that produced it.
+
+package serve
+
+import (
+	"context"
+	"errors"
+
+	"pacstack/internal/compile"
+	"pacstack/internal/fault"
+	"pacstack/internal/kernel"
+	"pacstack/internal/pa"
+	"pacstack/internal/resilience"
+	"pacstack/internal/snap"
+	"pacstack/internal/supervise"
+	"pacstack/internal/telemetry"
+)
+
+// Request outcome labels, one per terminal classification in
+// metrics.count. The sum over the vec equals pacstack_serve_requests_total.
+const (
+	outOK            = "ok"
+	outDetected      = "detected"
+	outSilent        = "silent"
+	outPanic         = "panic"
+	outBadRequest    = "bad_request"
+	outShed          = "shed"
+	outDraining      = "rejected_draining"
+	outBreakerDenied = "breaker_denied"
+	outDeadline      = "deadline"
+	outInternal      = "internal"
+)
+
+// cycleBuckets are the fixed histogram bounds for per-request victim
+// cycles. Fixed at compile time: deterministic exposition needs stable
+// bucket layouts, not adaptive ones.
+var cycleBuckets = []uint64{1_000, 5_000, 25_000, 100_000, 500_000, 2_500_000}
+
+// metrics is the server's pre-resolved handle block.
+type metrics struct {
+	requests *telemetry.Counter
+	outcomes *telemetry.CounterVec // by outcome label above
+	byCause  *telemetry.CounterVec // detections by fault cause
+	healed   *telemetry.Counter
+	cycles   *telemetry.Histogram // victim cycles per executed request
+
+	breakerTransitions *telemetry.CounterVec // by scheme, to-state
+
+	sup  *supervise.Telemetry
+	snap *snap.Telemetry
+}
+
+// newMetrics resolves every serve-layer handle against the registry.
+func newMetrics(reg *telemetry.Registry, events *telemetry.EventLog) metrics {
+	return metrics{
+		requests: reg.Counter("pacstack_serve_requests_total", "requests finished, any outcome"),
+		outcomes: reg.CounterVec("pacstack_serve_outcomes_total", "requests by terminal outcome", "outcome"),
+		byCause:  reg.CounterVec("pacstack_serve_detected_total", "detected corruptions by kill cause", "cause"),
+		healed:   reg.Counter("pacstack_serve_healed_total", "requests that crashed and were transparently re-executed"),
+		cycles:   reg.Histogram("pacstack_serve_request_cycles", "victim cycles per executed request", cycleBuckets),
+		breakerTransitions: reg.CounterVec("pacstack_resilience_breaker_transitions_total",
+			"circuit-breaker state changes", "scheme", "to"),
+		sup: &supervise.Telemetry{
+			Restarts:         reg.Counter("pacstack_supervise_restarts_total", "victim attempts beyond the first"),
+			Restores:         reg.Counter("pacstack_supervise_restores_total", "warm restores from a snapshot"),
+			RestoreFallbacks: reg.Counter("pacstack_supervise_restore_fallbacks_total", "failed restores that cold-booted"),
+			ColdBoots:        reg.Counter("pacstack_supervise_cold_boots_total", "attempts that cold-booted"),
+			Commits:          reg.Counter("pacstack_supervise_commits_total", "snapshots durably committed"),
+			CommitErrs:       reg.Counter("pacstack_supervise_commit_errors_total", "commit attempts that failed (torn, IO error)"),
+			Downtime:         reg.Counter("pacstack_supervise_downtime_cycles_total", "cumulative restart backoff"),
+			Events:           events,
+		},
+		snap: snap.NewTelemetry(reg),
+	}
+}
+
+// count classifies one finished request by its typed error — the same
+// switch the old stats block had, now incrementing registry counters.
+func (m *metrics) count(err error) {
+	m.requests.Inc()
+	if err == nil {
+		m.outcomes.With(outOK).Inc()
+		return
+	}
+	var ce *CorruptionError
+	var se *SilentCorruptionError
+	var pe *resilience.PanicError
+	var bre *BadRequestError
+	switch {
+	case errors.As(err, &ce):
+		m.outcomes.With(outDetected).Inc()
+		m.byCause.With(ce.Cause.String()).Inc()
+	case errors.As(err, &se):
+		m.outcomes.With(outSilent).Inc()
+	case errors.As(err, &pe):
+		m.outcomes.With(outPanic).Inc()
+	case errors.As(err, &bre):
+		m.outcomes.With(outBadRequest).Inc()
+	case errors.Is(err, resilience.ErrShed):
+		m.outcomes.With(outShed).Inc()
+	case errors.Is(err, resilience.ErrDraining):
+		m.outcomes.With(outDraining).Inc()
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		m.outcomes.With(outBreakerDenied).Inc()
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		m.outcomes.With(outDeadline).Inc()
+	default:
+		m.outcomes.With(outInternal).Inc()
+	}
+}
+
+// kernelTel returns (building on first use) the per-scheme kernel/pa
+// instrumentation bundle: every handle carries a scheme label, so the
+// exposition can answer "auth failures by scheme" directly.
+func (s *Server) kernelTel(sc compile.Scheme) *kernel.Telemetry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if kt, ok := s.ktels[sc]; ok {
+		return kt
+	}
+	reg := s.tel.Registry()
+	events := s.tel.Log()
+	name := schemeName(sc)
+	kc := func(metric, help string) *telemetry.Counter {
+		return reg.CounterVec(metric, help, "scheme").With(name)
+	}
+	kt := &kernel.Telemetry{
+		Quanta: kc("pacstack_kernel_quanta_total", "scheduler quanta dispatched"),
+		Instrs: kc("pacstack_kernel_instrs_total", "instructions retired"),
+		Cancels: kc("pacstack_kernel_cancels_total",
+			"runs ended by an expired context (deadline, shutdown)"),
+		Kills: reg.CounterVec("pacstack_kernel_kills_total",
+			"process kills by class", "scheme", "class").Curry(name),
+		Signals:       kc("pacstack_kernel_signals_total", "signal frames delivered"),
+		SigframeBinds: kc("pacstack_kernel_sigframe_binds_total", "Appendix B chain bindings recorded"),
+		Spawns:        kc("pacstack_kernel_spawns_total", "tasks spawned (chain re-seeds under ACS)"),
+		Chain: &pa.Trace{
+			PACIssued: kc("pacstack_pa_pac_issued_total", "pac* seals issued"),
+			AuthOK:    kc("pacstack_pa_auth_ok_total", "aut* authentications that passed"),
+			AuthFail:  kc("pacstack_pa_auth_fail_total", "aut* authentications rejected"),
+			Masks:     kc("pacstack_pa_masks_total", "PAC(0, aret) mask derivations"),
+			MemoHit:   kc("pacstack_pa_memo_hits_total", "PAC memo-cache hits"),
+			MemoMiss:  kc("pacstack_pa_memo_misses_total", "PAC memo-cache misses"),
+			Strips:    kc("pacstack_pa_strips_total", "xpac strips"),
+			PACGAs:    kc("pacstack_pa_pacga_total", "pacga generic MACs computed"),
+			Events:    events,
+		},
+		Events: events,
+	}
+	s.ktels[sc] = kt
+	return kt
+}
+
+// Telemetry returns the server's telemetry set — the config-supplied
+// one, or the private set withDefaults created.
+func (s *Server) Telemetry() *telemetry.Set { return s.tel }
+
+// causeNames enumerates the fault-cause label values Snapshot rebuilds
+// its map from.
+func causeNames() []string {
+	names := make([]string, fault.NumCauses)
+	for c := 0; c < fault.NumCauses; c++ {
+		names[c] = fault.Cause(c).String()
+	}
+	return names
+}

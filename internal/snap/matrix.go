@@ -45,6 +45,18 @@ type MatrixConfig struct {
 	// RotFaults, TruncFaults, DupFaults are the per-seed counts of
 	// post-hoc faults.
 	RotFaults, TruncFaults, DupFaults int
+	// Tel, when non-nil, is attached to every store the campaign
+	// creates — golden commits, crashed commits, and every recovery
+	// trial alike. The campaign is serial and fully seeded, so the
+	// resulting counter values are deterministic for one config.
+	Tel *Telemetry
+}
+
+// store builds a store over fs carrying the campaign's telemetry.
+func (c MatrixConfig) store(fs FS) *Store {
+	st := NewStore(fs)
+	st.Tel = c.Tel
+	return st
 }
 
 // Normalize fills defaults in place and returns the config.
@@ -304,7 +316,7 @@ func recoverTrial(fs *MemFS, img *compile.Image, c MatrixConfig, run *seedRun, s
 		}
 	}()
 	fs.Heal()
-	st := NewStore(fs) // fresh store: the post-reboot view, no cached state
+	st := c.store(fs) // fresh store: the post-reboot view, no cached state
 	cp, _, rep, err := st.Recover()
 	if err != nil {
 		// Snapshot A was durably committed before the fault; losing it
@@ -410,7 +422,7 @@ func RunMatrix(cfg MatrixConfig) (*MatrixReport, error) {
 
 		// Base store: A durably committed, B about to be.
 		baseFS := NewMemFS()
-		baseStore := NewStore(baseFS)
+		baseStore := cfg.store(baseFS)
 		seqA, err := baseStore.Commit(run.imgA)
 		if err != nil {
 			return nil, fmt.Errorf("snap: seed %d: committing A: %w", seed, err)
@@ -421,7 +433,7 @@ func RunMatrix(cfg MatrixConfig) (*MatrixReport, error) {
 		// budget units; crash points are enumerated against it.
 		dryFS := baseFS.Clone()
 		before := dryFS.Spent()
-		if _, err := NewStore(dryFS).Commit(run.imgB); err != nil {
+		if _, err := cfg.store(dryFS).Commit(run.imgB); err != nil {
 			return nil, fmt.Errorf("snap: seed %d: dry commit: %w", seed, err)
 		}
 		row.CommitCost = dryFS.Spent() - before
@@ -449,7 +461,7 @@ func RunMatrix(cfg MatrixConfig) (*MatrixReport, error) {
 		for _, k := range points {
 			fs := baseFS.Clone()
 			fs.Crash(k)
-			if _, err := NewStore(fs).Commit(run.imgB); err == nil {
+			if _, err := cfg.store(fs).Commit(run.imgB); err == nil {
 				return nil, fmt.Errorf("snap: seed %d: commit survived crash budget %d", seed, k)
 			}
 			tally(recoverTrial(fs, img, cfg, run, seqA, seqB), &row.Torn)
@@ -457,7 +469,7 @@ func RunMatrix(cfg MatrixConfig) (*MatrixReport, error) {
 
 		// Post-hoc faults hit a store where both commits landed clean.
 		fullFS := baseFS.Clone()
-		if _, err := NewStore(fullFS).Commit(run.imgB); err != nil {
+		if _, err := cfg.store(fullFS).Commit(run.imgB); err != nil {
 			return nil, fmt.Errorf("snap: seed %d: committing B: %w", seed, err)
 		}
 		posthoc := func(n int, t *FaultTally, apply func(*Injector) (InjectedFault, bool)) {

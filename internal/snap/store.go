@@ -19,6 +19,7 @@ import (
 
 	"pacstack/internal/compile"
 	"pacstack/internal/kernel"
+	"pacstack/internal/telemetry"
 )
 
 // File naming. Sequence numbers are monotonically increasing and
@@ -122,6 +123,36 @@ type Store struct {
 	fs     FS
 	seq    uint64
 	inited bool
+
+	// Tel, when non-nil, counts commits, bytes, and recovery anomalies
+	// into shared registry handles. Set it before traffic; all fields
+	// are nil-safe.
+	Tel *Telemetry
+}
+
+// Telemetry is the store's instrumentation bundle.
+type Telemetry struct {
+	Commits     *telemetry.Counter // commits that reached full durability
+	CommitErrs  *telemetry.Counter // commits that died partway
+	CommitBytes *telemetry.Counter // image bytes durably committed
+	Recoveries  *telemetry.Counter // recovery passes run
+	// Anomalies is labeled by anomaly kind (journal-torn-tail,
+	// torn-temp, unjournaled-snapshot, ...) plus the pseudo-kind
+	// "snapshot-corrupt" for files that fail classification.
+	Anomalies *telemetry.CounterVec
+}
+
+// NewTelemetry resolves the store's instrumentation bundle against
+// reg under the canonical pacstack_snap_* family names. Handles are
+// shared: any number of stores may point at one bundle.
+func NewTelemetry(reg *telemetry.Registry) *Telemetry {
+	return &Telemetry{
+		Commits:     reg.Counter("pacstack_snap_commits_total", "store commits that reached full durability"),
+		CommitErrs:  reg.Counter("pacstack_snap_commit_errors_total", "store commits that died partway"),
+		CommitBytes: reg.Counter("pacstack_snap_commit_bytes_total", "image bytes durably committed"),
+		Recoveries:  reg.Counter("pacstack_snap_recoveries_total", "recovery passes run"),
+		Anomalies:   reg.CounterVec("pacstack_snap_anomalies_total", "recovery findings by kind", "kind"),
+	}
 }
 
 // NewStore returns a store over fs. Existing snapshots and journal
@@ -191,31 +222,43 @@ func (s *Store) Commit(img []byte) (uint64, error) {
 
 	// 1-2. Write the full image to a temp name and make it durable.
 	if err := s.fs.WriteFile(tmp, img); err != nil {
-		return seq, fmt.Errorf("snap: commit %d: writing temp: %w", seq, err)
+		return seq, s.commitErr(fmt.Errorf("snap: commit %d: writing temp: %w", seq, err))
 	}
 	if err := s.fs.Sync(tmp); err != nil {
-		return seq, fmt.Errorf("snap: commit %d: syncing temp: %w", seq, err)
+		return seq, s.commitErr(fmt.Errorf("snap: commit %d: syncing temp: %w", seq, err))
 	}
 	// 3-4. Atomically give it its final name and make the rename
 	// durable.
 	if err := s.fs.Rename(tmp, final); err != nil {
-		return seq, fmt.Errorf("snap: commit %d: rename: %w", seq, err)
+		return seq, s.commitErr(fmt.Errorf("snap: commit %d: rename: %w", seq, err))
 	}
 	if err := s.fs.SyncDir(); err != nil {
-		return seq, fmt.Errorf("snap: commit %d: syncing directory: %w", seq, err)
+		return seq, s.commitErr(fmt.Errorf("snap: commit %d: syncing directory: %w", seq, err))
 	}
 	// 5-6. Journal the commit and make the record durable.
 	crc, ok := ImageCRC(img)
 	if !ok {
-		return seq, fmt.Errorf("snap: commit %d: image too short to carry a checksum", seq)
+		return seq, s.commitErr(fmt.Errorf("snap: commit %d: image too short to carry a checksum", seq))
 	}
 	if err := s.fs.Append(journalName, encodeRec(seq, uint64(len(img)), crc)); err != nil {
-		return seq, fmt.Errorf("snap: commit %d: journal append: %w", seq, err)
+		return seq, s.commitErr(fmt.Errorf("snap: commit %d: journal append: %w", seq, err))
 	}
 	if err := s.fs.Sync(journalName); err != nil {
-		return seq, fmt.Errorf("snap: commit %d: syncing journal: %w", seq, err)
+		return seq, s.commitErr(fmt.Errorf("snap: commit %d: syncing journal: %w", seq, err))
+	}
+	if t := s.Tel; t != nil {
+		t.Commits.Inc()
+		t.CommitBytes.Add(uint64(len(img)))
 	}
 	return seq, nil
+}
+
+// commitErr counts a failed commit and passes the error through.
+func (s *Store) commitErr(err error) error {
+	if s.Tel != nil {
+		s.Tel.CommitErrs.Inc()
+	}
+	return err
 }
 
 // CommitProcess checkpoints a live process and commits it.
@@ -308,6 +351,20 @@ func (s *Store) Recover() (*kernel.Checkpoint, *ImageMeta, *RecoveryReport, erro
 		return nil, nil, nil, err
 	}
 	rep := &RecoveryReport{}
+	if t := s.Tel; t != nil {
+		t.Recoveries.Inc()
+		// Count whatever the pass ends up finding, on every return path.
+		defer func() {
+			for _, a := range rep.Anomalies {
+				t.Anomalies.With(a.Kind).Inc()
+			}
+			for _, sr := range rep.Snapshots {
+				if sr.Class == ClassCorrupt.String() {
+					t.Anomalies.With("snapshot-corrupt").Inc()
+				}
+			}
+		}()
+	}
 
 	var recs []journalRec
 	if data, err := s.fs.ReadFile(journalName); err == nil {

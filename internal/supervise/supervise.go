@@ -26,6 +26,7 @@ import (
 	"pacstack/internal/kernel"
 	"pacstack/internal/pa"
 	"pacstack/internal/snap"
+	"pacstack/internal/telemetry"
 )
 
 // Respawn selects how a killed victim comes back.
@@ -153,7 +154,26 @@ type Supervisor struct {
 	// successful or not.
 	LastRecovery *snap.RecoveryReport
 
+	// Tel, when non-nil, mirrors every counter bump above into shared
+	// registry handles. The int fields stay authoritative for callers
+	// and tests; the mirror is what /metrics exposes.
+	Tel *Telemetry
+
 	template *kernel.Process // pristine never-run boot (RespawnFork)
+}
+
+// Telemetry is the supervisor's registry mirror: pre-resolved handles
+// incremented alongside the exported int counters. All fields are
+// optional and nil-safe.
+type Telemetry struct {
+	Restarts         *telemetry.Counter // attempts beyond the first
+	Restores         *telemetry.Counter // warm restores from a snapshot
+	RestoreFallbacks *telemetry.Counter // failed restores that cold-booted
+	ColdBoots        *telemetry.Counter // attempts that cold-booted
+	Commits          *telemetry.Counter // snapshots durably committed
+	CommitErrs       *telemetry.Counter // failed commit attempts
+	Downtime         *telemetry.Counter // cumulative backoff cycles
+	Events           *telemetry.EventLog
 }
 
 // New returns a supervisor for the image under the kernel and policy.
@@ -174,6 +194,10 @@ func (s *Supervisor) next() (p *kernel.Process, restored bool, err error) {
 		s.LastRecovery = rep
 		if rerr == nil {
 			s.Restores++
+			if s.Tel != nil {
+				s.Tel.Restores.Inc()
+				s.Tel.Events.Record(telemetry.EvRestore, "warm", "", uint64(s.Restores))
+			}
 			if s.Configure != nil {
 				s.Configure(rp)
 			}
@@ -185,9 +209,16 @@ func (s *Supervisor) next() (p *kernel.Process, restored bool, err error) {
 			// — and the cold boot below happens in this same cycle, so
 			// the failure costs no extra restart budget.
 			s.RestoreFallbacks++
+			if s.Tel != nil {
+				s.Tel.RestoreFallbacks.Inc()
+			}
 		}
 	}
 	p, err = s.coldBoot()
+	if err == nil && s.Tel != nil {
+		s.Tel.ColdBoots.Inc()
+		s.Tel.Events.Record(telemetry.EvRestore, "cold", "", 0)
+	}
 	return p, false, err
 }
 
@@ -250,6 +281,10 @@ func (s *Supervisor) RunCtx(ctx context.Context, mutate func(attempt int, p *ker
 		if n > 0 {
 			backoff = s.Policy.backoff(n - 1)
 			s.Downtime += backoff
+			if s.Tel != nil {
+				s.Tel.Restarts.Inc()
+				s.Tel.Downtime.Add(backoff)
+			}
 		}
 		var err error
 		var restored bool
@@ -328,12 +363,20 @@ func (s *Supervisor) runAttempt(ctx context.Context, p *kernel.Process, budget u
 		}
 		if _, cerr := s.Snapshots.CommitProcess(p); cerr != nil {
 			s.CommitErrs++
+			if s.Tel != nil {
+				s.Tel.CommitErrs.Inc()
+				s.Tel.Events.Record(telemetry.EvTornCommit, "", cerr.Error(), 0)
+			}
 			if errors.Is(cerr, snap.ErrCrashed) {
 				return fmt.Errorf("machine died mid-checkpoint: %w", cerr)
 			}
 			continue
 		}
 		s.Commits++
+		if s.Tel != nil {
+			s.Tel.Commits.Inc()
+			s.Tel.Events.Record(telemetry.EvCommit, "", "", uint64(s.Commits))
+		}
 	}
 }
 

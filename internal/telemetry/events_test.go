@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEventLogWraparound fills a small ring past capacity and checks
+// the exact drop count, the retained window, and the seq/drop
+// bookkeeping identity FirstSeq == Dropped.
+func TestEventLogWraparound(t *testing.T) {
+	const capacity, total = 4, 11
+	l := NewEventLog(capacity)
+	tick := uint64(0)
+	l.SetClock(func() uint64 { tick++; return tick })
+	for i := 0; i < total; i++ {
+		l.Record(EvAuthFail, "pacstack", "", uint64(i))
+	}
+	s := l.Snapshot()
+	if s.Capacity != capacity {
+		t.Errorf("capacity = %d, want %d", s.Capacity, capacity)
+	}
+	if want := uint64(total - capacity); s.Dropped != want {
+		t.Errorf("dropped = %d, want exactly %d", s.Dropped, want)
+	}
+	if s.FirstSeq != s.Dropped {
+		t.Errorf("first_seq = %d, want %d (== dropped)", s.FirstSeq, s.Dropped)
+	}
+	if s.NextSeq != total {
+		t.Errorf("next_seq = %d, want %d", s.NextSeq, total)
+	}
+	if len(s.Events) != capacity {
+		t.Fatalf("retained %d events, want %d", len(s.Events), capacity)
+	}
+	for i, e := range s.Events {
+		wantSeq := uint64(total - capacity + i)
+		if e.Seq != wantSeq || e.Value != wantSeq {
+			t.Errorf("event %d: seq=%d value=%d, want %d", i, e.Seq, e.Value, wantSeq)
+		}
+		if e.Time != wantSeq+1 { // clock ticked once per record
+			t.Errorf("event %d: time=%d, want %d", i, e.Time, wantSeq+1)
+		}
+	}
+}
+
+// TestEventLogExactlyFull: filling to capacity without overflow drops
+// nothing.
+func TestEventLogExactlyFull(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 3; i++ {
+		l.Record(EvCommit, "", "", 0)
+	}
+	s := l.Snapshot()
+	if s.Dropped != 0 || len(s.Events) != 3 || s.FirstSeq != 0 {
+		t.Errorf("full-but-not-over ring: dropped=%d n=%d first=%d", s.Dropped, len(s.Events), s.FirstSeq)
+	}
+}
+
+// TestEventLogConcurrent hammers Record under -race; the invariant is
+// retained + dropped == recorded.
+func TestEventLogConcurrent(t *testing.T) {
+	const goroutines, perG, capacity = 8, 2_000, 64
+	l := NewEventLog(capacity)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				l.Record(EvShed, "s", "", uint64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	s := l.Snapshot()
+	if got := uint64(len(s.Events)) + s.Dropped; got != goroutines*perG {
+		t.Errorf("retained+dropped = %d, want %d", got, goroutines*perG)
+	}
+	if s.NextSeq != goroutines*perG {
+		t.Errorf("next_seq = %d, want %d", s.NextSeq, goroutines*perG)
+	}
+	seen := make(map[uint64]bool)
+	for _, e := range s.Events {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+// TestEventKindJSON: kinds marshal by taxonomy name.
+func TestEventKindJSON(t *testing.T) {
+	b, err := json.Marshal(Event{Seq: 1, Kind: EvAuthFail, Subject: "pacstack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"kind":"auth_fail"`) {
+		t.Errorf("marshal = %s, want kind auth_fail", b)
+	}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if strings.HasPrefix(k.String(), "EventKind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

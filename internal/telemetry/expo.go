@@ -1,0 +1,100 @@
+// Exposition: the Prometheus text format for /metrics and plain JSON
+// for /events and dump files. Both render from the sorted snapshot
+// types, so output is deterministic whenever the underlying run is.
+
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string.
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// labelString renders {a="x",b="y"}; extra appends one more pair
+// (used for histogram le) and may be empty.
+func labelString(labels []Label, extraName, extraValue string) string {
+	if len(labels) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabel(extraValue))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4). Values are exact integers; no
+// timestamps are attached to samples (scrapers stamp on ingest), so
+// the text of a deterministic snapshot is itself deterministic.
+func WritePrometheus(w io.Writer, snap MetricsSnapshot) error {
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			switch f.Type {
+			case "counter":
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.Name, labelString(s.Labels, "", ""), s.Value); err != nil {
+					return err
+				}
+			case "gauge":
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.Name, labelString(s.Labels, "", ""), s.GaugeValue); err != nil {
+					return err
+				}
+			case "histogram":
+				for _, b := range s.Buckets {
+					le := fmt.Sprintf("%d", b.UpperBound)
+					if b.UpperInf {
+						le = "+Inf"
+					}
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, labelString(s.Labels, "le", le), b.Count); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", f.Name, labelString(s.Labels, "", ""), s.Sum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labelString(s.Labels, "", ""), s.Count); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Prometheus renders the snapshot to a string.
+func Prometheus(snap MetricsSnapshot) string {
+	var b strings.Builder
+	_ = WritePrometheus(&b, snap)
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Set bundles one registry with one event log under a shared clock —
+// the unit a process (daemon, soak, crash matrix) wires through its
+// components. A nil *Set is the canonical no-op sink: every component
+// accessor below returns nil handles, and nil handles record nothing.
+type Set struct {
+	Reg    *Registry
+	Events *EventLog
+}
+
+// Nop is the disabled sink. Components wired to it pay one nil check
+// per record; BenchmarkEngine must stay within noise of BENCH_1 under
+// it.
+var Nop *Set
+
+// Options parameterises New.
+type Options struct {
+	// EventCap bounds the ring buffer (default 4096).
+	EventCap int
+	// Clock is the injected time source; nil keeps wall-clock
+	// nanoseconds. Deterministic runs must inject their virtual clock
+	// so dumps are byte-identical for one seed.
+	Clock func() uint64
+}
+
+// New returns a live Set.
+func New(o Options) *Set {
+	if o.EventCap == 0 {
+		o.EventCap = 4096
+	}
+	s := &Set{Reg: NewRegistry(), Events: NewEventLog(o.EventCap)}
+	if o.Clock != nil {
+		s.Reg.SetClock(o.Clock)
+	}
+	s.Events.SetClock(s.Reg.Now)
+	return s
+}
+
+// Registry returns the metrics registry (nil on the Nop set).
+func (s *Set) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.Reg
+}
+
+// Log returns the event log (nil on the Nop set).
+func (s *Set) Log() *EventLog {
+	if s == nil {
+		return nil
+	}
+	return s.Events
+}
+
+// Dump is the full, deterministic telemetry export: one metrics
+// snapshot plus the event window. For a seeded run under an injected
+// clock, MarshalJSON of a Dump is byte-identical across runs and
+// worker-pool widths.
+type Dump struct {
+	Metrics MetricsSnapshot `json:"metrics"`
+	Events  EventsSnapshot  `json:"events"`
+}
+
+// Dump snapshots the set. A nil set dumps the zero value.
+func (s *Set) Dump() Dump {
+	if s == nil {
+		return Dump{}
+	}
+	return Dump{Metrics: s.Reg.Gather(), Events: s.Events.Snapshot()}
+}
+
+// WriteJSON writes the dump as indented JSON followed by a newline.
+func (s *Set) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Dump())
+}
