@@ -36,3 +36,20 @@ go run -race ./cmd/pacstack-snap -crash-matrix -json > /tmp/pacstack-snap-a.json
 go run -race ./cmd/pacstack-snap -crash-matrix -json > /tmp/pacstack-snap-b.json
 cmp /tmp/pacstack-snap-a.json /tmp/pacstack-snap-b.json
 rm -f /tmp/pacstack-snap-a.json /tmp/pacstack-snap-b.json
+
+# Cluster failover smoke: a 3-backend fleet loses one backend mid-soak
+# (seeded victim at virtual cycle 40000); its machines migrate over the
+# snap codec with re-seeded keys and its in-flight requests replay
+# exactly once. -check exits non-zero unless every request reached a
+# terminal state with zero silent losses, zero shared-key violations,
+# zero double replays, and the restart budget charged exactly once.
+# The two runs differ only in precompute pool width (-par 1 vs 8); cmp
+# on the JSON report and the telemetry dump enforces that the report
+# is a pure function of the seed, independent of parallelism.
+CLUSTER_FLAGS="-backends 3 -clients 6 -requests 10 -seed 11 -chaos-rate 0.1 -heal 1 -kill-at 40000"
+go run -race ./cmd/pacstack-cluster $CLUSTER_FLAGS -par 1 -check -json -telemetry-dump /tmp/pacstack-cluster-tel-a.json > /tmp/pacstack-cluster-a.json
+go run -race ./cmd/pacstack-cluster $CLUSTER_FLAGS -par 8 -check -json -telemetry-dump /tmp/pacstack-cluster-tel-b.json > /tmp/pacstack-cluster-b.json
+cmp /tmp/pacstack-cluster-a.json /tmp/pacstack-cluster-b.json
+cmp /tmp/pacstack-cluster-tel-a.json /tmp/pacstack-cluster-tel-b.json
+rm -f /tmp/pacstack-cluster-a.json /tmp/pacstack-cluster-b.json \
+      /tmp/pacstack-cluster-tel-a.json /tmp/pacstack-cluster-tel-b.json

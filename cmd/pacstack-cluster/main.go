@@ -1,0 +1,235 @@
+// Command pacstack-cluster drives the multi-backend serving tier
+// (internal/cluster) in two modes.
+//
+// Default mode runs the deterministic cluster soak: N modeled backends
+// behind the breaker-aware router take seeded virtual-time traffic,
+// optionally losing one backend mid-run (-kill-at). The dead backend's
+// checkpointed machines migrate to a survivor over the snap codec with
+// re-seeded PA keys, and its in-flight requests replay exactly once.
+// One seed produces a byte-identical report on any machine at any
+// worker-pool width (-par) — run it twice and diff.
+//
+//	pacstack-cluster [-backends N] [-clients N] [-requests N]
+//	                 [-workload NAME] [-schemes LIST] [-seed N]
+//	                 [-chaos-rate F] [-chaos-kinds LIST] [-heal N]
+//	                 [-workers N] [-queue N] [-retries N]
+//	                 [-breaker-threshold N] [-checkpoint-every N]
+//	                 [-checkpoint-crash F] [-kill-at CYCLES]
+//	                 [-kill-backend N] [-migrate-latency CYCLES]
+//	                 [-failover-budget N] [-par N]
+//	                 [-json] [-check] [-telemetry-dump PATH]
+//
+// With -check, the exit status enforces the failover acceptance
+// criteria: non-zero unless every request reached a terminal state
+// (zero silent losses), migrated machines restored with re-seeded
+// keys, no request replayed twice, and the restart budget was charged
+// exactly once for the kill.
+//
+// With -daemon, it serves the live fleet over HTTP instead:
+//
+//	POST /v1/run         route one workload through the cluster
+//	GET  /v1/cluster     fleet status (liveness, breakers, machines)
+//	POST /v1/kill?backend=N   kill a backend: drain, migrate, re-seed
+//	GET  /metrics /events /v1/telemetry /healthz   as in pacstack-serve
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pacstack/internal/cluster"
+	"pacstack/internal/harness"
+	"pacstack/internal/par"
+	"pacstack/internal/serve"
+	"pacstack/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pacstack-cluster: ")
+	backends := flag.Int("backends", 3, "fleet width")
+	clients := flag.Int("clients", 8, "concurrent virtual clients (soak)")
+	requests := flag.Int("requests", 25, "requests per client (soak)")
+	workload := flag.String("workload", "chain", "workload name")
+	schemes := flag.String("schemes", "pacstack", "comma-separated scheme list; requests round-robin across it")
+	seed := flag.Int64("seed", 1, "cluster seed (same seed, byte-identical soak report)")
+	chaosRate := flag.Float64("chaos-rate", 0.1, "per-attempt fault-injection probability")
+	chaosKinds := flag.String("chaos-kinds", "", "comma-separated kinds: bitflip, retaddr, smash, register, sigframe (default retaddr,smash,sigframe)")
+	heal := flag.Int("heal", 0, "supervised respawns per request after a detected kill")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0, "per-request snapshot commit interval in instructions (0: off)")
+	checkpointCrash := flag.Float64("checkpoint-crash", 0, "per-request probability of a machine death mid-checkpoint")
+	workers := flag.Int("workers", 2, "modelled workers per backend")
+	queue := flag.Int("queue", 0, "modelled per-backend queue (0: 2*workers, <0: none)")
+	retries := flag.Int("retries", 3, "client retry budget for sheds and breaker denials")
+	brThreshold := flag.Int("breaker-threshold", 8, "per-backend breaker threshold (<0: disabled)")
+	killAt := flag.Uint64("kill-at", 0, "kill one backend at this virtual cycle (0: never)")
+	killBackend := flag.Int("kill-backend", -1, "which backend dies at -kill-at (<0: seeded pick)")
+	migrateLatency := flag.Uint64("migrate-latency", 5_000, "virtual cycles to ship snapshots and replay orphans")
+	failoverBudget := flag.Int("failover-budget", 1, "backend deaths the cluster absorbs with migration")
+	parWidth := flag.Int("par", 0, "precompute worker-pool width (0: GOMAXPROCS); the report must not depend on it")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of the table")
+	check := flag.Bool("check", false, "exit non-zero unless the failover criteria hold (zero silent losses, keys re-seeded, budget charged once)")
+	telemetryDump := flag.String("telemetry-dump", "", "write the run's telemetry (metrics + events) as JSON to this path")
+
+	daemon := flag.Bool("daemon", false, "serve the live fleet over HTTP instead of running the soak")
+	addr := flag.String("addr", ":8438", "listen address (daemon)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline (daemon; 0: none)")
+	drainWait := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline (daemon)")
+	flag.Parse()
+
+	kinds, err := serve.ParseKinds(*chaosKinds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schemeList := strings.Split(*schemes, ",")
+
+	if *daemon {
+		cl, err := cluster.New(cluster.Config{
+			Backends: *backends,
+			Seed:     *seed,
+			Backend: serve.Config{
+				Workers:         *workers,
+				Queue:           *queue,
+				Chaos:           *chaosRate > 0,
+				ChaosRate:       *chaosRate,
+				ChaosKinds:      kinds,
+				Heal:            *heal,
+				CheckpointEvery: *checkpointEvery,
+				Timeout:         *timeout,
+			},
+			MachineSchemes:   schemeList,
+			BreakerThreshold: *brThreshold,
+			FailoverBudget:   *failoverBudget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runDaemon(cl, *addr, *drainWait)
+		return
+	}
+
+	if *parWidth > 0 {
+		restore := par.SetWorkers(*parWidth)
+		defer restore()
+	}
+	var tel *telemetry.Set
+	if *telemetryDump != "" {
+		tel = telemetry.New(telemetry.Options{})
+	}
+	rep, err := cluster.Soak(context.Background(), cluster.SoakConfig{
+		Backends:         *backends,
+		Clients:          *clients,
+		Requests:         *requests,
+		Workload:         *workload,
+		Schemes:          schemeList,
+		Seed:             *seed,
+		ChaosRate:        *chaosRate,
+		ChaosKinds:       kinds,
+		Heal:             *heal,
+		CheckpointEvery:  *checkpointEvery,
+		CheckpointCrash:  *checkpointCrash,
+		Workers:          *workers,
+		Queue:            *queue,
+		Retries:          *retries,
+		BreakerThreshold: *brThreshold,
+		KillAt:           *killAt,
+		KillBackend:      *killBackend,
+		MigrateLatency:   *migrateLatency,
+		FailoverBudget:   *failoverBudget,
+		Telemetry:        tel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *telemetryDump != "" {
+		f, err := os.Create(*telemetryDump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tel.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(harness.ClusterSoak(rep))
+	}
+
+	if *check {
+		if err := rep.Check(); err != nil {
+			log.Printf("CHECK FAILED: %v", err)
+			// Leave the full report on disk so the failure can be
+			// diffed against a known-good run.
+			if f, err := os.CreateTemp("", "pacstack-cluster-failed-*.json"); err == nil {
+				enc := json.NewEncoder(f)
+				enc.SetIndent("", "  ")
+				if enc.Encode(rep) == nil {
+					log.Printf("failing report written to %s", f.Name())
+				}
+				f.Close()
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+// runDaemon serves the live fleet until SIGTERM/SIGINT, then drains
+// every backend and exits with the fleet status logged.
+func runDaemon(cl *cluster.Cluster, addr string, drainWait time.Duration) {
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           cl.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		st := cl.Status()
+		log.Printf("listening on %s (%d backends alive)", addr, st.Alive)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("%s: draining fleet", sig)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := cl.Drain(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	<-errc
+
+	out, _ := json.MarshalIndent(cl.Status(), "", "  ")
+	log.Printf("final cluster status:\n%s", out)
+	log.Printf("drained cleanly")
+}

@@ -26,8 +26,16 @@
 //	               [-seed N] [-timeout D] [-budget N]
 //	               [-chaos] [-chaos-rate F] [-chaos-kinds LIST]
 //	               [-breaker-threshold N] [-breaker-cooldown D]
-//	               [-checkpoint-every N] [-read-header-timeout D]
+//	               [-checkpoint-every N] [-state-dir DIR]
+//	               [-read-header-timeout D]
 //	               [-read-timeout D] [-idle-timeout D]
+//
+// With -state-dir, the daemon opens an on-disk snapshot store there at
+// startup, logs its recovery report (prior shutdown checkpoints, crash
+// anomalies — detected, never silent), and on graceful shutdown
+// commits one final boot-state snapshot per served scheme after the
+// drain completes, so the next incarnation (or a migration target)
+// restores from a quiescent image and re-seeds its own PA keys.
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"time"
 
 	"pacstack/internal/serve"
+	"pacstack/internal/snap"
 )
 
 func main() {
@@ -62,6 +71,7 @@ func main() {
 	brCooldown := flag.Duration("breaker-cooldown", 100*time.Millisecond, "how long an open breaker waits before probing")
 	drainWait := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	checkpointEvery := flag.Uint64("checkpoint-every", 0, "per-request snapshot commit interval in instructions (0: off)")
+	stateDir := flag.String("state-dir", "", "on-disk snapshot store; recovered at startup, final checkpoint committed on graceful shutdown")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "max time to read a request's headers (slowloris guard; 0: none)")
 	readTimeout := flag.Duration("read-timeout", 15*time.Second, "max time to read a full request including body (0: none)")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "max keep-alive idle time per connection (0: none)")
@@ -85,6 +95,34 @@ func main() {
 		BreakerCooldown:  uint64(*brCooldown),
 		CheckpointEvery:  *checkpointEvery,
 	})
+
+	// -state-dir makes shutdown durable: the previous incarnation's
+	// final checkpoint is recovered (and its report logged — anomalies
+	// here are crash evidence, never silent) before we take traffic,
+	// and a fresh boot-state snapshot per served scheme is committed
+	// after the drain below.
+	var stateStore *snap.Store
+	if *stateDir != "" {
+		fs, err := snap.NewDirFS(*stateDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stateStore = snap.NewStore(fs)
+		stateStore.Tel = snap.NewTelemetry(s.Telemetry().Registry())
+		_, _, rep, err := stateStore.Recover()
+		switch {
+		case errors.Is(err, snap.ErrNoSnapshot):
+			log.Printf("state dir %s: no prior checkpoint (fresh start)", *stateDir)
+		case err != nil:
+			log.Fatalf("state dir %s: recovery failed: %v", *stateDir, err)
+		default:
+			log.Printf("state dir %s: recovered checkpoint seq %d (%d snapshot(s), %d anomalies)",
+				*stateDir, rep.RestoredSeq, len(rep.Snapshots), len(rep.Anomalies))
+			for _, a := range rep.Anomalies {
+				log.Printf("state dir anomaly: %s %s: %s", a.Kind, a.Name, a.Detail)
+			}
+		}
+	}
 
 	// Connection-level timeouts: without these a client that dribbles
 	// header bytes (slowloris) or parks idle keep-alives pins a
@@ -128,6 +166,18 @@ func main() {
 		log.Printf("shutdown: %v", err)
 	}
 	<-errc // ListenAndServe has returned ErrServerClosed
+
+	// Commit the final checkpoint only after the drain: the store's
+	// commits are cheap, but a snapshot taken while requests were still
+	// running would not describe a quiescent daemon.
+	if stateStore != nil {
+		n, err := s.FinalCheckpoint(stateStore)
+		if err != nil {
+			log.Printf("final checkpoint incomplete after %d commit(s): %v", n, err)
+		} else {
+			log.Printf("final checkpoint: %d scheme snapshot(s) committed to %s", n, *stateDir)
+		}
+	}
 
 	out, _ := json.MarshalIndent(s.Stats(), "", "  ")
 	log.Printf("final stats:\n%s", out)

@@ -1,0 +1,867 @@
+// The cluster soak: the serving layer's deterministic virtual-time
+// simulation (serve.Soak) promoted to fleet scale. The same two-phase
+// trick carries over — request outcomes are precomputed in parallel as
+// pure functions of request identity, and the traffic dynamics replay
+// serially through an event heap — but the replay now models N
+// backends, each with its own capacity, queue, and breaker; a
+// breaker-aware router; and, at a chosen virtual instant, the death of
+// one backend mid-soak: its machines migrate over the snap codec with
+// re-seeded keys, its in-flight requests replay exactly once on the
+// survivors, and the failover charges the cluster restart budget once.
+//
+// Same seed and knobs in, byte-identical ClusterReport (and telemetry
+// dump) out, regardless of worker-pool width — check.sh diffs two runs
+// at -par 1 and -par 8 to hold the line.
+
+package cluster
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pacstack/internal/fault"
+	"pacstack/internal/par"
+	"pacstack/internal/resilience"
+	"pacstack/internal/serve"
+	"pacstack/internal/snap"
+	"pacstack/internal/telemetry"
+)
+
+// SoakConfig parameterises a cluster soak. Time-valued knobs are in
+// simulated cycles.
+type SoakConfig struct {
+	// Backends is the fleet width. Default 3.
+	Backends int
+
+	// Clients virtual clients each issue Requests requests with think
+	// time, retrying on rejections. Defaults 8 and 25.
+	Clients  int
+	Requests int
+
+	// Workload and Schemes select what runs; requests round-robin
+	// across the schemes per client. Defaults: "chain", ["pacstack"].
+	Workload string
+	Schemes  []string
+
+	// Seed fixes everything; same seed, same report. Default 1.
+	Seed int64
+
+	// Chaos injection knobs, as in serve.Config.
+	ChaosRate  float64
+	ChaosKinds []fault.Kind
+	Heal       int
+
+	// Checkpoint knobs, as in serve.Config.
+	CheckpointEvery uint64
+	CheckpointCrash float64
+
+	// Per-backend capacity model: Workers simultaneous executions,
+	// Queue waiters, arrivals beyond that shed. Defaults 2 and 4.
+	Workers int
+	Queue   int
+
+	// Retries is the per-request client budget for rejections (sheds,
+	// breaker denials); execution outcomes are terminal. Default 3.
+	// BackoffBase/BackoffCap shape retry delays (defaults 2_000 /
+	// 64_000 cycles).
+	Retries     int
+	BackoffBase uint64
+	BackoffCap  uint64
+
+	// BreakerThreshold/BreakerCooldown configure each backend's breaker
+	// (defaults 8 / 50_000 cycles); Threshold < 0 disables them (the
+	// router then sees every backend as closed).
+	BreakerThreshold int
+	BreakerCooldown  uint64
+
+	// Think is the mean inter-request think time per client; Overhead
+	// is fixed per-execution service latency. Defaults 1_000 and 500.
+	Think    uint64
+	Overhead uint64
+
+	// KillAt, when non-zero, kills one backend at that virtual instant:
+	// the kill-a-backend-mid-soak scenario. KillBackend names the
+	// victim; any negative value draws it from the seed (0 means
+	// backend 0).
+	KillAt      uint64
+	KillBackend int
+
+	// MigrateLatency is the virtual-time cost of shipping the dead
+	// backend's snapshots and replaying its orphaned requests on the
+	// survivors. Default 5_000 cycles.
+	MigrateLatency uint64
+
+	// FailoverBudget is how many backend deaths the cluster will absorb
+	// with migration + replay; deaths beyond it abandon the orphans
+	// (accounted as gave-up — never silent). Default 1. It is charged
+	// once per failover, not per machine or per replayed request.
+	FailoverBudget int
+
+	// Telemetry, when non-nil, receives metrics and events stamped with
+	// virtual time; the dump is byte-identical across runs and widths.
+	Telemetry *telemetry.Set
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Backends <= 0 {
+		c.Backends = 3
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 25
+	}
+	if c.Workload == "" {
+		c.Workload = "chain"
+	}
+	if len(c.Schemes) == 0 {
+		c.Schemes = []string{"pacstack"}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.ChaosKinds) == 0 {
+		c.ChaosKinds = []fault.Kind{fault.KindRetAddr, fault.KindStackSmash, fault.KindSigFrame}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Queue == 0 {
+		c.Queue = 2 * c.Workers
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 2_000
+	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = 64_000
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 8
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 50_000
+	}
+	if c.Think == 0 {
+		c.Think = 1_000
+	}
+	if c.Overhead == 0 {
+		c.Overhead = 500
+	}
+	if c.MigrateLatency == 0 {
+		c.MigrateLatency = 5_000
+	}
+	if c.FailoverBudget == 0 {
+		c.FailoverBudget = 1
+	}
+	return c
+}
+
+// BackendRow is the per-backend breakdown: what the router sent it,
+// what came back, and its failover traffic.
+type BackendRow struct {
+	Backend       int    `json:"backend"`
+	Routed        int    `json:"routed"`
+	OK            int    `json:"ok"`
+	Healed        int    `json:"healed"`
+	Detected      int    `json:"detected"`
+	Silent        int    `json:"silent"`
+	Sheds         int    `json:"sheds"`
+	BreakerDenied int    `json:"breaker_denied"`
+	Replayed      int    `json:"replayed"`
+	BreakerOpens  uint64 `json:"breaker_opens"`
+	MigratedIn    int    `json:"migrated_in"`
+	MigratedOut   int    `json:"migrated_out"`
+	Alive         bool   `json:"alive"`
+}
+
+// ClusterReport is the deterministic end-of-run summary. For one seed
+// and knob set it is byte-identical across runs, machines, and
+// worker-pool widths.
+type ClusterReport struct {
+	Seed      int64    `json:"seed"`
+	Workload  string   `json:"workload"`
+	Schemes   []string `json:"schemes"`
+	Backends  int      `json:"backends"`
+	Clients   int      `json:"clients"`
+	PerClient int      `json:"requests_per_client"`
+	ChaosRate float64  `json:"chaos_rate"`
+	Heal      int      `json:"heal"`
+
+	KillAt        uint64 `json:"kill_at,omitempty"`
+	KilledBackend int    `json:"killed_backend"` // -1: nothing died
+
+	Issued   int `json:"issued"`
+	OK       int `json:"ok"`
+	Healed   int `json:"healed"`
+	Detected int `json:"detected"`
+	Silent   int `json:"silent"`
+	GaveUp   int `json:"gave_up"`
+
+	ByCause [fault.NumCauses]int `json:"-"`
+	Causes  []serve.SchemeCount  `json:"detected_by_cause,omitempty"`
+
+	Injected    int `json:"injected_faults"`
+	Checkpoints int `json:"checkpoints,omitempty"`
+	Restores    int `json:"restores,omitempty"`
+	TornCommits int `json:"torn_commits,omitempty"`
+
+	Retries       int `json:"retries"`
+	Sheds         int `json:"sheds"`
+	BreakerDenied int `json:"breaker_denied"`
+
+	// Failover accounting. OrphansExecuting/OrphansQueued is the dead
+	// backend's in-flight split at the kill; Replayed of them were
+	// re-issued on survivors (exactly once each), Abandoned were
+	// terminally gave-up because the failover budget or the fleet was
+	// exhausted. ReplayViolations counts requests that would have been
+	// replayed twice — must be zero. BudgetCharged counts failovers
+	// that consumed restart budget — exactly one per absorbed kill.
+	OrphansExecuting    int              `json:"orphans_executing"`
+	OrphansQueued       int              `json:"orphans_queued"`
+	Replayed            int              `json:"replayed"`
+	Abandoned           int              `json:"abandoned"`
+	ReplayViolations    int              `json:"replay_violations"`
+	BudgetCharged       int              `json:"budget_charged"`
+	SharedKeyViolations int              `json:"shared_key_violations"`
+	Migration           *MigrationReport `json:"migration,omitempty"`
+
+	PerBackend []BackendRow    `json:"per_backend"`
+	PerScheme  []serve.SoakRow `json:"per_scheme"`
+
+	VirtualCycles uint64 `json:"virtual_cycles"`
+	InFlightAtEnd int    `json:"in_flight_at_end"`
+}
+
+// Graceful reports whether the run ended cleanly: every issued request
+// reached exactly one terminal state and nothing was left in flight —
+// the "no request lost" identity, now across a backend death.
+func (r *ClusterReport) Graceful() bool {
+	return r.InFlightAtEnd == 0 && r.OK+r.Detected+r.Silent+r.GaveUp == r.Issued
+}
+
+// Check enforces the failover acceptance criteria: a graceful run with
+// zero silent losses, zero key-sharing across a migration, zero double
+// replays, and — when a backend was killed and the fleet had budget —
+// the budget charged exactly once. It returns nil when the run passes.
+func (r *ClusterReport) Check() error {
+	if !r.Graceful() {
+		return fmt.Errorf("cluster: lost requests: issued %d, terminal %d, in flight %d",
+			r.Issued, r.OK+r.Detected+r.Silent+r.GaveUp, r.InFlightAtEnd)
+	}
+	if r.Silent > 0 {
+		return fmt.Errorf("cluster: %d silent corruption(s)", r.Silent)
+	}
+	if r.SharedKeyViolations > 0 {
+		return fmt.Errorf("cluster: %d migrated machine(s) share keys with their dead incarnation", r.SharedKeyViolations)
+	}
+	if r.ReplayViolations > 0 {
+		return fmt.Errorf("cluster: %d request(s) replayed more than once", r.ReplayViolations)
+	}
+	if r.KilledBackend >= 0 && r.Abandoned == 0 && r.BudgetCharged != 1 {
+		return fmt.Errorf("cluster: one backend killed but budget charged %d time(s), want 1", r.BudgetCharged)
+	}
+	return nil
+}
+
+// soakOutcome is one precomputed request execution result — identical
+// in role to serve.Soak's: a pure function of request identity, so the
+// replay (and any replay-after-failover) charges it exactly once.
+type soakOutcome struct {
+	class       int
+	cause       fault.Cause
+	cycles      uint64
+	healed      bool
+	injected    int
+	checkpoints int
+	restores    int
+	torn        int
+}
+
+const (
+	classOK = iota
+	classDetected
+	classSilent
+)
+
+// event kinds for the virtual-time replay.
+const (
+	evIssue = iota // client (re)submits a request
+	evDone         // a backend finishes an execution
+	evKill         // the kill-a-backend-mid-soak scenario fires
+)
+
+type event struct {
+	at      uint64
+	seq     int
+	kind    int
+	client  int
+	req     int
+	attempt int // evIssue: submission attempt
+	bk      int // evDone: executing backend
+	gen     int // evDone: request generation (stale after an orphaning)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// desBackend is one backend's replay state.
+type desBackend struct {
+	b    *Backend
+	busy int
+	fifo []int // request ids queued, FIFO
+	row  BackendRow
+}
+
+// Soak runs the cluster simulation. ctx bounds the parallel precompute
+// phase; the serial replay is fast and not cancellable.
+func Soak(ctx context.Context, cfg SoakConfig) (*ClusterReport, error) {
+	cfg = cfg.withDefaults()
+	for _, name := range cfg.Schemes {
+		if _, err := serve.ParseScheme(name); err != nil {
+			return nil, err
+		}
+	}
+	prog, err := serve.ResolveProgram(cfg.Workload, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.KillBackend >= cfg.Backends {
+		return nil, fmt.Errorf("cluster: kill backend %d out of range (fleet of %d)", cfg.KillBackend, cfg.Backends)
+	}
+
+	// Virtual-time telemetry, exactly as in serve.Soak: phase 1 only
+	// adds counters (commutative); every event records from the serial
+	// replay under the injected virtual clock.
+	vnow := uint64(0)
+	if cfg.Telemetry != nil {
+		vclock := func() uint64 { return vnow }
+		cfg.Telemetry.Registry().SetClock(vclock)
+		cfg.Telemetry.Log().SetClock(vclock)
+	}
+	reg := cfg.Telemetry.Registry()
+	tlog := cfg.Telemetry.Log()
+
+	routedVec := reg.CounterVec("pacstack_cluster_routed_total", "requests admitted per backend", "backend")
+	shedsVec := reg.CounterVec("pacstack_cluster_sheds_total", "arrivals shed per backend (queue full)", "backend")
+	deniedVec := reg.CounterVec("pacstack_cluster_breaker_denied_total", "arrivals denied per backend breaker", "backend")
+	replayedVec := reg.CounterVec("pacstack_cluster_replayed_total", "orphaned requests replayed per adopting backend", "backend")
+	transVec := reg.CounterVec("pacstack_cluster_breaker_transitions_total", "backend breaker state changes", "backend", "to")
+	migrationsVec := reg.CounterVec("pacstack_cluster_migrations_total", "machine migrations per backend", "backend", "direction")
+	migrateBytes := reg.Counter("pacstack_cluster_migrate_bytes_total", "snapshot image bytes shipped in failovers")
+	failovers := reg.Counter("pacstack_cluster_failovers_total", "backend deaths absorbed by migration and replay")
+	budgetCharges := reg.Counter("pacstack_cluster_budget_charges_total", "failover restart-budget charges")
+	clRetries := reg.Counter("pacstack_cluster_retries_total", "client retries after a rejection")
+	clGaveUp := reg.Counter("pacstack_cluster_gave_up_total", "requests abandoned after the retry budget")
+
+	// The fleet: real Backend objects (kernels, resident machines,
+	// breakers); the replay models execution capacity on top.
+	eng := fault.NewEngine(prog)
+	var snapTel *snap.Telemetry
+	if reg != nil {
+		snapTel = snap.NewTelemetry(reg)
+	}
+	machineSchemes := uniqueSorted(cfg.Schemes)
+	backends := make([]*desBackend, cfg.Backends)
+	for i := range backends {
+		b := NewBackend(i, cfg.Seed)
+		b.SnapTel = snapTel
+		if cfg.BreakerThreshold > 0 {
+			b.Breaker = NewBackendBreaker(i, cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Seed, cfg.Telemetry, transVec)
+		}
+		for _, name := range machineSchemes {
+			if _, err := b.BootMachine(eng, name); err != nil {
+				return nil, err
+			}
+		}
+		backends[i] = &desBackend{b: b, row: BackendRow{Backend: i, Alive: true}}
+	}
+	router := NewRouter(cfg.Seed)
+
+	// The inner executing server for the precompute phase: wide open
+	// (the DES models queueing and breaking itself), shared registry,
+	// no event log.
+	srv := serve.New(serve.Config{
+		Workers:          cfg.Clients + 1,
+		Queue:            cfg.Clients * cfg.Requests,
+		Seed:             cfg.Seed,
+		Chaos:            cfg.ChaosRate > 0,
+		ChaosRate:        cfg.ChaosRate,
+		ChaosKinds:       cfg.ChaosKinds,
+		Heal:             cfg.Heal,
+		CheckpointEvery:  cfg.CheckpointEvery,
+		CheckpointCrash:  cfg.CheckpointCrash,
+		BreakerThreshold: -1,
+		Telemetry:        &telemetry.Set{Reg: reg},
+	})
+
+	// Phase 1: precompute every request's execution outcome in
+	// parallel. Request identity fixes the seed; which backend ends up
+	// executing a request is a routing fact, not an entropy source —
+	// exactly why a migrated request can replay elsewhere and still
+	// produce the same answer.
+	total := cfg.Clients * cfg.Requests
+	outcomes := make([]soakOutcome, total)
+	err = par.ForEachCtx(ctx, total, func(id int) error {
+		client, reqIdx := id/cfg.Requests, id%cfg.Requests
+		reqSeed := mix(int64(client)+0x5f, int64(reqIdx)+1)
+		if reqSeed == 0 {
+			reqSeed = 1
+		}
+		res, err := srv.Do(context.Background(), serve.Request{
+			Workload: cfg.Workload,
+			Scheme:   cfg.Schemes[reqIdx%len(cfg.Schemes)],
+			Seed:     reqSeed,
+		})
+		switch {
+		case err == nil:
+			outcomes[id] = soakOutcome{
+				class: classOK, cycles: res.Cycles,
+				healed: res.Healed, injected: res.Injected,
+				checkpoints: res.Checkpoints, restores: res.Restores, torn: res.TornCommits,
+			}
+		default:
+			var ce *serve.CorruptionError
+			var se *serve.SilentCorruptionError
+			switch {
+			case errors.As(err, &ce):
+				outcomes[id] = soakOutcome{
+					class: classDetected, cause: ce.Cause,
+					cycles: ce.Cycles, injected: ce.Injected,
+				}
+			case errors.As(err, &se):
+				outcomes[id] = soakOutcome{class: classSilent, cycles: se.Cycles}
+			default:
+				return fmt.Errorf("cluster precompute (client %d, request %d): %w", client, reqIdx, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: serial virtual-time replay.
+	rep := &ClusterReport{
+		Seed: cfg.Seed, Workload: cfg.Workload, Schemes: cfg.Schemes,
+		Backends: cfg.Backends, Clients: cfg.Clients, PerClient: cfg.Requests,
+		ChaosRate: cfg.ChaosRate, Heal: cfg.Heal,
+		KillAt: cfg.KillAt, KilledBackend: -1,
+	}
+
+	backoffs := make([]*resilience.Backoff, cfg.Clients)
+	thinks := make([]*rand.Rand, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		backoffs[c] = resilience.NewBackoff(cfg.BackoffBase, cfg.BackoffCap, mix(cfg.Seed, int64(c)+0x1001))
+		thinks[c] = rand.New(rand.NewSource(mix(cfg.Seed, int64(c)+0x2002)))
+	}
+	think := func(c int) uint64 {
+		half := cfg.Think / 2
+		return half + uint64(thinks[c].Int63n(int64(cfg.Think-half+1)))
+	}
+
+	rows := make(map[string]*serve.SoakRow, len(cfg.Schemes))
+	rowOrder := []string{}
+	row := func(name string) *serve.SoakRow {
+		r, ok := rows[name]
+		if !ok {
+			r = &serve.SoakRow{Scheme: name}
+			rows[name] = r
+			rowOrder = append(rowOrder, name)
+		}
+		return r
+	}
+	schemeOf := func(reqIdx int) string { return cfg.Schemes[reqIdx%len(cfg.Schemes)] }
+
+	h := &eventHeap{}
+	seq := 0
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(h, e)
+	}
+
+	now := uint64(0)
+	// Per-request replay state: gen invalidates an orphaned request's
+	// pending evDone; execOn tracks which backend is executing it;
+	// replayed enforces exactly-once failover replay.
+	gen := make([]int, total)
+	execOn := make([]int, total)
+	for i := range execOn {
+		execOn[i] = -1
+	}
+	replayed := make([]bool, total)
+
+	aliveList := func() []int {
+		var out []int
+		for i, d := range backends {
+			if d.row.Alive {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	stateOf := func(idx int) resilience.BreakerState {
+		if br := backends[idx].b.Breaker; br != nil {
+			return br.State(now)
+		}
+		return resilience.BreakerClosed
+	}
+
+	startService := func(bk, id int) {
+		d := backends[bk]
+		d.busy++
+		execOn[id] = bk
+		o := outcomes[id]
+		push(event{at: now + cfg.Overhead + o.cycles, kind: evDone,
+			client: id / cfg.Requests, req: id % cfg.Requests, bk: bk, gen: gen[id]})
+	}
+	admit := func(bk, id int) bool {
+		d := backends[bk]
+		d.row.Routed++
+		routedVec.With(fmt.Sprint(bk)).Inc()
+		if d.busy < cfg.Workers {
+			startService(bk, id)
+			return true
+		}
+		if len(d.fifo) < cfg.Queue {
+			d.fifo = append(d.fifo, id)
+			return true
+		}
+		d.row.Routed-- // it never landed
+		d.row.Sheds++
+		rep.Sheds++
+		shedsVec.With(fmt.Sprint(bk)).Inc()
+		tlog.Record(telemetry.EvShed, schemeOf(id%cfg.Requests), fmt.Sprintf("backend-%d queue full", bk), now)
+		return false
+	}
+	nextRequest := func(client, req int) {
+		if req+1 < cfg.Requests {
+			push(event{at: now + think(client), kind: evIssue, client: client, req: req + 1})
+		}
+	}
+	terminal := func(client, req int) { nextRequest(client, req) }
+	retryOrGiveUp := func(client, req, attempt int) {
+		if attempt >= cfg.Retries {
+			rep.GaveUp++
+			clGaveUp.Inc()
+			r := row(schemeOf(req))
+			r.GaveUp++
+			r.Requests++
+			terminal(client, req)
+			return
+		}
+		rep.Retries++
+		clRetries.Inc()
+		tlog.Record(telemetry.EvRetry, schemeOf(req), "", uint64(attempt+1))
+		push(event{at: now + backoffs[client].Delay(attempt), kind: evIssue, client: client, req: req, attempt: attempt + 1})
+	}
+	// abandon terminally gives up an orphan whose failover could not be
+	// absorbed (budget exhausted or fleet empty): accounted, never
+	// silent, never lost.
+	abandon := func(id int) {
+		client, req := id/cfg.Requests, id%cfg.Requests
+		rep.GaveUp++
+		rep.Abandoned++
+		clGaveUp.Inc()
+		r := row(schemeOf(req))
+		r.GaveUp++
+		r.Requests++
+		tlog.Record(telemetry.EvRequestDone, schemeOf(req), "abandoned:failover-budget", now)
+		terminal(client, req)
+	}
+
+	// resolveBatch routes one same-instant batch of issues: every
+	// request gets its own preference order from the router (the rotor
+	// advances per decision, spreading load among equals), the batch is
+	// grouped by chosen backend, and each group is admitted through
+	// GrantProbes — the seeded arbitration of racing probe candidates.
+	resolveBatch := func(batch []event) {
+		alive := aliveList()
+		type chosen struct {
+			ev event
+			id int
+		}
+		groups := make(map[int][]chosen)
+		var groupOrder []int
+		for _, e := range batch {
+			id := e.client*cfg.Requests + e.req
+			order := router.Order(now, alive, stateOf)
+			if len(order) == 0 {
+				// No fleet left: the request can never execute.
+				retryOrGiveUp(e.client, e.req, cfg.Retries)
+				continue
+			}
+			bk := order[0]
+			if _, ok := groups[bk]; !ok {
+				groupOrder = append(groupOrder, bk)
+			}
+			groups[bk] = append(groups[bk], chosen{ev: e, id: id})
+		}
+		sort.Ints(groupOrder)
+		for _, bk := range groupOrder {
+			group := groups[bk]
+			ids := make([]uint64, len(group))
+			byID := make(map[uint64]chosen, len(group))
+			for i, c := range group {
+				ids[i] = uint64(c.id)
+				byID[uint64(c.id)] = c
+			}
+			var granted []uint64
+			if br := backends[bk].b.Breaker; br != nil {
+				granted = br.GrantProbes(now, ids)
+			} else {
+				granted = ids
+			}
+			grantedSet := make(map[uint64]bool, len(granted))
+			for _, id := range granted {
+				grantedSet[id] = true
+			}
+			// Winners are admitted in the seeded grant order; losers of
+			// the probe race are breaker-denied and fall back to the
+			// client retry path.
+			for _, id := range granted {
+				c := byID[id]
+				if !admit(bk, c.id) {
+					retryOrGiveUp(c.ev.client, c.ev.req, c.ev.attempt)
+				}
+			}
+			for _, c := range group {
+				if grantedSet[uint64(c.id)] {
+					continue
+				}
+				backends[bk].row.BreakerDenied++
+				rep.BreakerDenied++
+				deniedVec.With(fmt.Sprint(bk)).Inc()
+				retryOrGiveUp(c.ev.client, c.ev.req, c.ev.attempt)
+			}
+		}
+	}
+
+	// kill executes the kill-a-backend-mid-soak scenario at `now`.
+	killRNG := rand.New(rand.NewSource(mix(cfg.Seed, 0xdead)))
+	kill := func() error {
+		kb := cfg.KillBackend
+		if kb < 0 {
+			kb = killRNG.Intn(cfg.Backends)
+		}
+		d := backends[kb]
+		if !d.row.Alive {
+			return nil
+		}
+		d.row.Alive = false
+		d.b.Kill()
+		rep.KilledBackend = kb
+		tlog.Record(telemetry.EvKill, fmt.Sprintf("backend-%d", kb), "killed mid-soak", now)
+
+		// Orphans: executing requests (their pending evDone is voided by
+		// the generation bump) and queued ones, in deterministic order.
+		var orphans []int
+		for id := 0; id < total; id++ {
+			if execOn[id] == kb {
+				gen[id]++
+				execOn[id] = -1
+				orphans = append(orphans, id)
+				rep.OrphansExecuting++
+			}
+		}
+		rep.OrphansQueued += len(d.fifo)
+		orphans = append(orphans, d.fifo...)
+		d.busy = 0
+		d.fifo = nil
+
+		alive := aliveList()
+		if rep.BudgetCharged >= cfg.FailoverBudget || len(alive) == 0 {
+			// Nothing absorbs this death: orphans end terminally, loudly.
+			for _, id := range orphans {
+				abandon(id)
+			}
+			return nil
+		}
+		rep.BudgetCharged++
+		budgetCharges.Inc()
+		failovers.Inc()
+
+		// Snapshot shipping: the dead backend's machines move to the
+		// best survivor the router can name, with re-seeded keys.
+		survivor := router.Order(now, alive, stateOf)[0]
+		mig, err := MigrateMachines(d.b, backends[survivor].b)
+		if err != nil {
+			return err
+		}
+		rep.Migration = mig
+		rep.SharedKeyViolations += mig.SharedKeyViolations
+		d.row.MigratedOut = len(mig.Machines)
+		backends[survivor].row.MigratedIn = len(mig.Machines)
+		migrateBytes.Add(uint64(mig.Bytes))
+		for _, mm := range mig.Machines {
+			migrationsVec.With(fmt.Sprint(kb), "out").Inc()
+			migrationsVec.With(fmt.Sprint(survivor), "in").Inc()
+			tlog.Record(telemetry.EvMigrate, mm.Scheme,
+				fmt.Sprintf("%d->%d", mm.From, mm.To), uint64(mm.Bytes))
+		}
+		tlog.Record(telemetry.EvFailover, fmt.Sprintf("backend-%d", kb),
+			fmt.Sprintf("survivor backend-%d, %d machine(s), %d orphan(s)", survivor, len(mig.Machines), len(orphans)), now)
+
+		// Exactly-once replay: every orphan is re-issued on the
+		// survivors after the migration latency. The request's outcome
+		// (and so its heal attempts) was precomputed once and will be
+		// charged once, at its single terminal evDone — a failover hop
+		// never multiplies the supervise restart budget.
+		for _, id := range orphans {
+			if replayed[id] {
+				rep.ReplayViolations++
+				continue
+			}
+			replayed[id] = true
+			rep.Replayed++
+			push(event{at: now + cfg.MigrateLatency, kind: evIssue, client: id / cfg.Requests, req: id % cfg.Requests})
+		}
+		return nil
+	}
+
+	// Start: every client issues its first request after one think; the
+	// kill (if any) is a first-class event in the same heap.
+	for c := 0; c < cfg.Clients; c++ {
+		push(event{at: think(c), kind: evIssue, client: c, req: 0})
+	}
+	if cfg.KillAt > 0 {
+		push(event{at: cfg.KillAt, kind: evKill})
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(h).(event)
+		now = e.at
+		vnow = now
+		switch e.kind {
+		case evIssue:
+			// Drain the maximal run of same-instant issues into one
+			// batch, so requests arriving at the same virtual instant
+			// race through GrantProbes instead of through heap order.
+			batch := []event{e}
+			for h.Len() > 0 && (*h)[0].at == e.at && (*h)[0].kind == evIssue {
+				batch = append(batch, heap.Pop(h).(event))
+			}
+			resolveBatch(batch)
+		case evDone:
+			id := e.client*cfg.Requests + e.req
+			if e.gen != gen[id] {
+				continue // voided: the executing backend died first
+			}
+			d := backends[e.bk]
+			d.busy--
+			execOn[id] = -1
+			o := outcomes[id]
+			name := schemeOf(e.req)
+			r := row(name)
+			r.Requests++
+			rep.Injected += o.injected
+			rep.Checkpoints += o.checkpoints
+			rep.Restores += o.restores
+			rep.TornCommits += o.torn
+			if replayed[id] {
+				d.row.Replayed++
+				replayedVec.With(fmt.Sprint(e.bk)).Inc()
+			}
+			switch o.class {
+			case classOK:
+				rep.OK++
+				r.OK++
+				d.row.OK++
+				if o.healed {
+					rep.Healed++
+					r.Healed++
+					d.row.Healed++
+				}
+				tlog.Record(telemetry.EvRequestDone, name, "ok", o.cycles)
+			case classDetected:
+				rep.Detected++
+				rep.ByCause[o.cause]++
+				r.Detected++
+				d.row.Detected++
+				tlog.Record(telemetry.EvRequestDone, name, "detected:"+o.cause.String(), o.cycles)
+			case classSilent:
+				rep.Silent++
+				r.Silent++
+				d.row.Silent++
+				tlog.Record(telemetry.EvRequestDone, name, "silent", o.cycles)
+			}
+			if br := d.b.Breaker; br != nil {
+				br.Record(now, o.class == classOK)
+			}
+			if len(d.fifo) > 0 {
+				next := d.fifo[0]
+				d.fifo = d.fifo[1:]
+				startService(e.bk, next)
+			}
+			terminal(e.client, e.req)
+		case evKill:
+			if err := kill(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	rep.Issued = total
+	rep.VirtualCycles = now
+	vnow = now
+	for _, d := range backends {
+		rep.InFlightAtEnd += d.busy + len(d.fifo)
+		if br := d.b.Breaker; br != nil {
+			d.row.BreakerOpens = br.Opens()
+		}
+		rep.PerBackend = append(rep.PerBackend, d.row)
+	}
+	for c := 0; c < fault.NumCauses; c++ {
+		if rep.ByCause[c] > 0 {
+			rep.Causes = append(rep.Causes, serve.SchemeCount{Scheme: fault.Cause(c).String(), Count: uint64(rep.ByCause[c])})
+		}
+	}
+	for _, name := range rowOrder {
+		rep.PerScheme = append(rep.PerScheme, *rows[name])
+	}
+	return rep, nil
+}
+
+// uniqueSorted dedupes and sorts a name list.
+func uniqueSorted(names []string) []string {
+	seen := make(map[string]bool, len(names))
+	var out []string
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -104,6 +104,27 @@ func (p *Process) Checkpoint() *Checkpoint {
 	return cp
 }
 
+// ReseedKeys draws fresh PA keys for the process in place, without
+// touching its address space, tasks or program — the migration-time
+// analogue of the exec respawn's key refresh (Section 4.3). Every PAC
+// sealed under the old keys is worthless afterwards, so callers must
+// only reseed chain-neutral state: a process that has never executed
+// (a boot-state snapshot) or one quiesced with an empty auth chain.
+// The cluster migration protocol depends on exactly this — a machine
+// restored on a new backend must not share keys with its dead
+// incarnation, or a snapshot theft would carry the old backend's
+// guessing-game progress across the failover.
+func (p *Process) ReseedKeys() {
+	p.keys = p.k.genKeys()
+	p.Auth = pa.New(p.keys, p.k.cfg)
+	if p.k.tel != nil {
+		p.Auth.SetTrace(p.k.tel.Chain)
+	}
+	for _, t := range p.Tasks {
+		t.M.Auth = p.Auth
+	}
+}
+
 // Restore overwrites the process's state with the checkpoint. The
 // receiver must be a freshly booted process from the same program
 // image: Restore replaces the address space, key material and task

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -49,6 +50,17 @@ type BreakerConfig struct {
 	// into the breaker. The telemetry layer hangs its gauge updates and
 	// event records here.
 	OnTransition func(now uint64, from, to BreakerState)
+	// Seed fixes the probe-grant tie-break used by GrantProbes when
+	// several candidates race for a half-open breaker at the same
+	// instant. Zero is a valid seed (the ordering is still
+	// deterministic, just the zero-seeded one).
+	Seed int64
+	// OnProbe, when non-nil, is called whenever GrantProbes resolves a
+	// batch against a half-open breaker, with the candidate ids in the
+	// chosen (seeded) grant order — granted ids first, refused ids
+	// after, so the exported order is the full contention verdict. Like
+	// OnTransition it runs under the breaker's lock.
+	OnProbe func(now uint64, order []uint64, granted int)
 }
 
 // Breaker is a per-backend circuit breaker. It holds no clock: every
@@ -83,6 +95,11 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 func (b *Breaker) Allow(now uint64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.allowLocked(now)
+}
+
+// allowLocked is Allow's state machine. Callers hold b.mu.
+func (b *Breaker) allowLocked(now uint64) bool {
 	switch b.state {
 	case BreakerClosed:
 		return true
@@ -103,6 +120,61 @@ func (b *Breaker) Allow(now uint64) bool {
 		b.probes++
 		return true
 	}
+}
+
+// probeRank is the seeded tie-break priority of one candidate id for
+// one open episode (splitmix64 finalizer over seed, episode, id).
+// Distinct episodes reshuffle the order; one episode's order is fixed.
+func (b *Breaker) probeRank(id uint64) uint64 {
+	z := uint64(b.cfg.Seed)*0x9e3779b97f4a7c15 + b.opens*0xbf58476d1ce4e5b9 + id
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// GrantProbes resolves a batch of candidates that race for the breaker
+// at the same instant — the situation Allow cannot arbitrate fairly,
+// because first-come-first-served among simultaneous callers is
+// scheduling noise. The candidates are ordered deterministically by a
+// seeded tie-break (Seed, open episode, id; equal hashes fall back to
+// the smaller id) and then admitted in that order through the same
+// state machine Allow runs: a closed breaker grants all of them, an
+// open one none, a half-open one the first HalfOpenProbes of the
+// chosen order. It returns the granted ids, in grant order; when the
+// batch met a half-open breaker, OnProbe exports the full chosen order
+// and the grant count — the deterministic record of who won the race.
+//
+// A nil or empty batch returns nil. The deterministic soak feeds every
+// same-virtual-instant arrival batch through here, which is what makes
+// probe outcomes independent of event-heap insertion order.
+func (b *Breaker) GrantProbes(now uint64, ids []uint64) []uint64 {
+	if len(ids) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	order := append([]uint64(nil), ids...)
+	sort.SliceStable(order, func(i, j int) bool {
+		ri, rj := b.probeRank(order[i]), b.probeRank(order[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return order[i] < order[j]
+	})
+	granted := make([]uint64, 0, len(order))
+	contended := false
+	for _, id := range order {
+		wasHalfOpen := b.state == BreakerHalfOpen ||
+			(b.state == BreakerOpen && now >= b.until)
+		if b.allowLocked(now) {
+			granted = append(granted, id)
+		}
+		contended = contended || wasHalfOpen
+	}
+	if contended && b.cfg.OnProbe != nil {
+		b.cfg.OnProbe(now, order, len(granted))
+	}
+	return granted
 }
 
 // Record reports the outcome of a request that Allow admitted. A

@@ -70,6 +70,15 @@ func statusOf(err error) (int, errorBody) {
 	}
 }
 
+// HTTPStatus maps a pipeline error to its HTTP status and JSON error
+// body — the exported face of statusOf, for tiers that stack on top of
+// the serving pipeline (the cluster router reuses the mapping so both
+// tiers speak the same error vocabulary).
+func HTTPStatus(err error) (int, any) {
+	status, body := statusOf(err)
+	return status, body
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

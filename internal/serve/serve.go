@@ -354,10 +354,19 @@ func (s *Server) engine(name string) (*fault.Engine, error) {
 // program resolves a workload name: config-supplied programs first,
 // then the built-in catalog ("chain" plus the SPEC-shaped suite).
 func (s *Server) program(name string) (*ir.Program, error) {
-	if p, ok := s.cfg.Programs[name]; ok {
+	return ResolveProgram(name, s.cfg.Programs)
+}
+
+// ResolveProgram resolves a workload name against extra named programs
+// (checked first; may be nil) and then the built-in catalog — "" or
+// "chain" is the fault-campaign chain program, the rest is the
+// SPEC-shaped suite. The cluster layer resolves through here so every
+// tier accepts exactly the same workload names.
+func ResolveProgram(name string, extra map[string]*ir.Program) (*ir.Program, error) {
+	if p, ok := extra[name]; ok {
 		return p, nil
 	}
-	if name == "chain" {
+	if name == "" || name == "chain" {
 		return fault.DefaultProgram(), nil
 	}
 	cm := cpu.DefaultCostModel()
@@ -467,7 +476,7 @@ func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
 		return err
 	})
 	if br != nil {
-		br.Record(s.now(), backendHealthy(runErr))
+		br.Record(s.now(), BackendHealthy(runErr))
 	}
 	s.m.count(runErr)
 	if runErr == nil && res != nil && res.Healed {
@@ -476,11 +485,13 @@ func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
 	return res, runErr
 }
 
-// backendHealthy reports whether the outcome should count as backend
+// BackendHealthy reports whether the outcome should count as backend
 // health for the circuit breaker: detections, silent divergence,
 // panics and deadline blowouts are backend failures; admission-level
-// rejections never reach here.
-func backendHealthy(err error) bool {
+// rejections are routing verdicts, not backend health. Exported so the
+// cluster router can feed its per-backend breakers the same health
+// definition the per-scheme breakers use.
+func BackendHealthy(err error) bool {
 	if err == nil {
 		return true
 	}

@@ -54,6 +54,17 @@ const (
 	// EvRequestDone: a request reached a terminal outcome; Subject is
 	// the scheme, Detail the outcome class.
 	EvRequestDone
+	// EvProbe: a half-open breaker resolved a batch of racing probe
+	// candidates; Subject is the backend, Detail the seeded grant order.
+	EvProbe
+	// EvMigrate: a checkpointed machine was shipped from a dead backend
+	// and restored (with re-seeded keys) on a survivor; Subject is the
+	// scheme, Detail "from->to", Value the shipped image bytes.
+	EvMigrate
+	// EvFailover: a backend died and the cluster absorbed the failure
+	// (budget charged, machines migrated, in-flight work replayed);
+	// Subject is the killed backend, Detail the survivor.
+	EvFailover
 	numEventKinds
 )
 
@@ -73,6 +84,9 @@ var eventKindNames = [numEventKinds]string{
 	EvShed:         "shed",
 	EvRetry:        "retry",
 	EvRequestDone:  "request_done",
+	EvProbe:        "breaker_probe",
+	EvMigrate:      "migrate",
+	EvFailover:     "failover",
 }
 
 // String names the kind.
