@@ -21,13 +21,29 @@
 # Compare against the previous BENCH_*.json before and after touching
 # the interpreter, the PA model, the telemetry hooks, or the
 # experiment drivers.
+#
+# Usage: bench.sh "<note>" — the note is mandatory and lands in the
+# JSON verbatim, so every trajectory point says what changed (BENCH_2
+# shipped without one and the gap had to be reconstructed from git).
 set -eu
 cd "$(dirname "$0")"
+
+if [ $# -lt 1 ] || [ -z "$1" ]; then
+    echo "usage: $0 \"<note describing what this point measures>\"" >&2
+    exit 2
+fi
+note=$1
 
 n=0
 while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
 
-out=$(go test -run=NONE -bench='^(BenchmarkEngine|BenchmarkEngineTelemetry|BenchmarkTable2)$' -benchtime=3x .)
+# Engine benchmarks are ~2-3ms per iteration, so run many and let the
+# harness average: on shared machines single-digit iteration counts
+# showed ±25% CPU-steal noise, enough to invert the nop-vs-telemetry
+# overhead sign. Table 2 is ~0.3-1s per iteration and stays at 3x.
+out=$(go test -run=NONE -bench='^(BenchmarkEngine|BenchmarkEngineTelemetry)$' -benchtime=50x .)
+out="$out
+$(go test -run=NONE -bench='^BenchmarkTable2$' -benchtime=3x .)"
 printf '%s\n' "$out"
 
 # Benchmark names carry a -GOMAXPROCS suffix (BenchmarkEngine-8), so
@@ -48,7 +64,8 @@ cat > "BENCH_${n}.json" <<JSON
   "engine_mips": ${mips},
   "engine_mips_telemetry": ${tmips},
   "telemetry_overhead": ${overhead},
-  "table2_wall_seconds": ${t2s}
+  "table2_wall_seconds": ${t2s},
+  "note": "${note}"
 }
 JSON
 echo "wrote BENCH_${n}.json (engine ${mips} MIPS nop / ${tmips} MIPS telemetry, overhead ${overhead}, Table 2 in ${t2s}s)"

@@ -36,6 +36,26 @@ import (
 	"pacstack/internal/workload"
 )
 
+// engineWarmup runs the workload once untimed before an engine
+// benchmark starts its clock. The first benchmark of a process pays
+// one-off process costs — Go heap growth to the working-set size,
+// code page-in, CPU frequency ramp — which used to land entirely on
+// whichever engine benchmark ran first and could swamp the
+// nop-vs-telemetry overhead delta (BENCH_2 recorded a negative
+// overhead for exactly this reason).
+func engineWarmup(b *testing.B, img *compile.Image) {
+	b.Helper()
+	k := kernel.New(pa.DefaultConfig())
+	k.Seed(1)
+	proc, err := img.Boot(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := proc.Run(50_000_000); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkEngine measures raw execution-engine throughput in
 // simulated MIPS (instructions retired per wall-second): one
 // deterministic PACStack-instrumented SPEC workload booted and run to
@@ -50,6 +70,7 @@ func BenchmarkEngine(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	engineWarmup(b, img)
 	b.ResetTimer()
 	var instrs uint64
 	for i := 0; i < b.N; i++ {
@@ -105,6 +126,7 @@ func BenchmarkEngineTelemetry(b *testing.B) {
 		},
 		Events: set.Log(),
 	}
+	engineWarmup(b, img)
 	b.ResetTimer()
 	var instrs uint64
 	for i := 0; i < b.N; i++ {

@@ -10,6 +10,16 @@ go vet ./...
 go test -race ./...
 go test -run=NONE -bench=. -benchtime=1x ./...
 
+# Trace-compilation gate: the block-compiled engine must be observably
+# identical to the single-step oracle — the cpu differential suite
+# (every exit shape, invalidation edge, armed-hook and traced
+# fallback) plus the root suites DeepEqual'd across both engines, all
+# under the race detector, then a one-iteration smoke of the block
+# engine's headline benchmark so BenchmarkEngine cannot rot.
+go test -race -run 'TestBlock|TestSetRegsForcesXZRSlot' ./internal/cpu
+go test -race -run 'BlockEngineDeterminism' .
+go test -run=NONE -bench '^BenchmarkEngine$' -benchtime=1x .
+
 # Seeded chaos-soak smoke: a few seconds of virtual-time traffic with
 # ~10% fault injection against the serving layer, race detector on.
 # -check fails the gate on any silent corruption or a non-graceful end

@@ -15,6 +15,7 @@
 //	              [-retries N] [-breaker-threshold N]
 //	              [-checkpoint-every N] [-checkpoint-crash F]
 //	              [-json] [-check] [-telemetry-dump PATH]
+//	              [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -check, the exit status enforces the robustness acceptance
 // criteria: non-zero if any silent corruption was recorded or the run
@@ -26,6 +27,12 @@
 // metrics registry plus security event ring) is written to PATH as
 // JSON — byte-identical for one seed, which is what the check.sh
 // double-run cmp gate rests on.
+//
+// The -cpuprofile / -memprofile flags (same contract as
+// pacstack-bench) write pprof profiles of the run, so the execution
+// engine can be profiled under serving load — outcome precompute,
+// checkpointing and chaos included — not just under the bare
+// benchmark loop.
 package main
 
 import (
@@ -35,6 +42,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pacstack/internal/harness"
@@ -62,7 +71,34 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of the table")
 	check := flag.Bool("check", false, "exit non-zero on silent corruption or a non-graceful run")
 	telemetryDump := flag.String("telemetry-dump", "", "write the run's telemetry (metrics + events) as JSON to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	kinds, err := serve.ParseKinds(*chaosKinds)
 	if err != nil {

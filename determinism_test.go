@@ -99,6 +99,92 @@ func TestConfirmParallelDeterminism(t *testing.T) {
 	}
 }
 
+// withEngines runs f under the trace-compiled block engine and then
+// under pure single-step interpretation, for the block-vs-oracle
+// differential: the suites must produce deeply equal output either
+// way, for the same seeds.
+func withEngines[T any](t *testing.T, f func() T) (blocked, oracle T) {
+	t.Helper()
+	restore := cpu.SetBlockCompile(true)
+	blocked = f()
+	cpu.SetBlockCompile(false)
+	oracle = f()
+	restore()
+	return blocked, oracle
+}
+
+func TestRunSuiteBlockEngineDeterminism(t *testing.T) {
+	type out struct {
+		rs  []workload.Result
+		err error
+	}
+	blocked, oracle := withEngines(t, func() out {
+		rs, err := workload.RunSuite(workload.SPEC[:4], compile.Schemes, cpu.DefaultCostModel(), 7)
+		return out{rs, err}
+	})
+	if blocked.err != nil || oracle.err != nil {
+		t.Fatalf("suite failed: block=%v oracle=%v", blocked.err, oracle.err)
+	}
+	if !reflect.DeepEqual(blocked.rs, oracle.rs) {
+		t.Fatalf("block-compiled RunSuite diverged from single-step:\nblock:  %+v\noracle: %+v", blocked.rs, oracle.rs)
+	}
+}
+
+func TestFaultCampaignBlockEngineDeterminism(t *testing.T) {
+	// Fault campaigns arm a PreStep hook, which forces per-instruction
+	// fallback — so classification must be bit-for-bit unchanged with
+	// the block engine enabled.
+	campaign := fault.Campaign{Kind: fault.KindRetAddr, Trials: 40, Seed: 3}
+	type out struct {
+		rs  []fault.Report
+		err error
+	}
+	blocked, oracle := withEngines(t, func() out {
+		rs, err := fault.NewEngine(fault.DefaultProgram()).RunAll(compile.Schemes, campaign)
+		return out{rs, err}
+	})
+	if blocked.err != nil || oracle.err != nil {
+		t.Fatalf("campaign failed: block=%v oracle=%v", blocked.err, oracle.err)
+	}
+	if !reflect.DeepEqual(blocked.rs, oracle.rs) {
+		t.Fatalf("block-compiled fault campaign diverged from single-step:\nblock:  %+v\noracle: %+v", blocked.rs, oracle.rs)
+	}
+}
+
+func TestConfirmBlockEngineDeterminism(t *testing.T) {
+	type out struct {
+		rs  []confirm.Result
+		err error
+	}
+	blocked, oracle := withEngines(t, func() out {
+		rs, err := confirm.RunAll(compile.Schemes)
+		return out{rs, err}
+	})
+	if blocked.err != nil || oracle.err != nil {
+		t.Fatalf("confirm failed: block=%v oracle=%v", blocked.err, oracle.err)
+	}
+	if !reflect.DeepEqual(blocked.rs, oracle.rs) {
+		t.Fatalf("block-compiled confirm diverged from single-step:\nblock:  %+v\noracle: %+v", blocked.rs, oracle.rs)
+	}
+}
+
+func TestTable3BlockEngineDeterminism(t *testing.T) {
+	type out struct {
+		rs  []workload.NginxResult
+		err error
+	}
+	blocked, oracle := withEngines(t, func() out {
+		rs, err := workload.Table3(cpu.DefaultCostModel(), 5)
+		return out{rs, err}
+	})
+	if blocked.err != nil || oracle.err != nil {
+		t.Fatalf("table3 failed: block=%v oracle=%v", blocked.err, oracle.err)
+	}
+	if !reflect.DeepEqual(blocked.rs, oracle.rs) {
+		t.Fatalf("block-compiled Table3 diverged from single-step:\nblock:  %+v\noracle: %+v", blocked.rs, oracle.rs)
+	}
+}
+
 func TestTable3ParallelDeterminism(t *testing.T) {
 	type out struct {
 		rs  []workload.NginxResult

@@ -1,0 +1,550 @@
+package cpu
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pacstack/internal/isa"
+	"pacstack/internal/mem"
+	"pacstack/internal/pa"
+)
+
+// Differential tests for the trace-compiled engine: every observable
+// — registers, flags, PC, Cycles, Instrs, memory, fault identity —
+// must be bit-for-bit identical between block-compiled execution and
+// the single-step oracle, for every exit shape a block has: side
+// exits, fall-throughs, in-block loop-backs, followed calls, fused
+// PAC pairs, budget stops mid-block, faults, and invalidation by
+// Map/Protect.
+
+const (
+	btCode  = uint64(0x10000)
+	btData  = uint64(0x200000)
+	btStack = uint64(0x300000)
+)
+
+func btAuth(seed int64) *pa.Authenticator {
+	return pa.New(pa.GenerateKeysFrom(rand.New(rand.NewSource(seed))), pa.DefaultConfig())
+}
+
+// btBoot assembles src at btCode and returns a machine with an RX code
+// mapping, an RW data page at btData, and an RW stack page below
+// btStack (SP preset to btStack).
+func btBoot(t *testing.T, src string, auth *pa.Authenticator) *Machine {
+	t.Helper()
+	prog, err := isa.Assemble(btCode, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return btBootProg(t, prog, auth)
+}
+
+func btBootProg(t *testing.T, prog *isa.Program, auth *pa.Authenticator) *Machine {
+	t.Helper()
+	mm := mem.New()
+	codeLen := (prog.Size()/mem.PageSize + 1) * mem.PageSize
+	if err := mm.Map(btCode, codeLen, mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.Map(btData, mem.PageSize, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.Map(btStack-mem.PageSize, mem.PageSize, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, mm, auth)
+	m.PC = btCode
+	m.SetReg(isa.SP, btStack)
+	return m
+}
+
+// btSnapshot captures everything observable about a machine: the
+// architectural state plus the whole data page.
+type btSnapshot struct {
+	State State
+	Data  [mem.PageSize / 8]uint64
+	Err   string
+}
+
+func btSnap(t *testing.T, m *Machine, err error) btSnapshot {
+	t.Helper()
+	s := btSnapshot{State: m.CaptureState()}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	adv := mem.NewAdversary(m.Mem)
+	for i := range s.Data {
+		v, perr := adv.Peek(btData + uint64(8*i))
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		s.Data[i] = v
+	}
+	return s
+}
+
+// btDiff runs the same scenario with the block engine on and off and
+// fails the test if any observable differs. The scenario builds its
+// own machine (fresh memory, same keys) and returns the run error.
+func btDiff(t *testing.T, name string, scenario func(t *testing.T) (*Machine, error)) {
+	t.Helper()
+	restore := SetBlockCompile(true)
+	m1, err1 := scenario(t)
+	blocked := btSnap(t, m1, err1)
+	SetBlockCompile(false)
+	m2, err2 := scenario(t)
+	oracle := btSnap(t, m2, err2)
+	restore()
+	if !reflect.DeepEqual(blocked, oracle) {
+		t.Errorf("%s: block-compiled run diverged from single-step:\nblock:  %+v\noracle: %+v",
+			name, blocked.State, oracle.State)
+		if blocked.Err != oracle.Err {
+			t.Errorf("%s: errors differ: block=%q oracle=%q", name, blocked.Err, oracle.Err)
+		}
+	}
+}
+
+// A workload touching every block shape: a counted outer loop (in-
+// block loop-back), a callee reached through a followed BL that signs
+// and authenticates with PACIASP/RETAA, a fused PACIA pair, loads and
+// stores, and conditional side exits.
+const btProgram = `
+main:
+    movz X28, #4919
+    movz X10, #2097152      ; btData
+    movz X9, #25            ; outer iterations
+outer:
+    add  X0, X0, X9
+    bl   fn
+    str  X0, [X10, #0]
+    ldr  X1, [X10, #0]
+    cmp  X1, #40
+    b.lt skip
+    eor  X2, X2, X1
+skip:
+    sub  X9, X9, #1
+    cbnz X9, outer
+    movz X3, #7
+    hlt
+fn:
+    paciasp
+    pacia X4, X28           ; fused pair head
+    pacia X5, X28           ; fused pair tail
+    autia X4, X28
+    autia X5, X28
+    add  X0, X0, X1
+    retaa
+`
+
+func TestBlockDifferentialLoopsCallsPAC(t *testing.T) {
+	btDiff(t, "loops-calls-pac", func(t *testing.T) (*Machine, error) {
+		m := btBoot(t, btProgram, btAuth(7))
+		return m, m.Run(100_000)
+	})
+}
+
+// TestBlockDifferentialRandomPrograms sweeps seeded random structured
+// programs — arithmetic bodies, forward skips, stores/loads, calls
+// with PAC prologues, a counted loop — through both engines.
+func TestBlockDifferentialRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randBlockyProgram(rng)
+		btDiff(t, "random", func(t *testing.T) (*Machine, error) {
+			m := btBootProg(t, prog, btAuth(seed))
+			m.SetReg(isa.X28, 0x1337)
+			return m, m.Run(500_000)
+		})
+	}
+}
+
+// randBlockyProgram builds a random program with the control-flow
+// shapes the block engine compiles: straight-line arithmetic, forward
+// conditional skips, memory traffic, direct calls (PACIASP/RETAA and
+// plain RET callees), and a counted outer loop.
+func randBlockyProgram(rng *rand.Rand) *isa.Program {
+	b := isa.NewBuilder(btCode)
+	iters := int64(2 + rng.Intn(6))
+	b.Emit(
+		isa.Instr{Op: isa.MOVZ, Rd: isa.X10, Imm: int64(btData)},
+		isa.Instr{Op: isa.MOVZ, Rd: isa.X9, Imm: iters},
+	)
+	b.Label("outer")
+	segs := 2 + rng.Intn(4)
+	for s := 0; s < segs; s++ {
+		ins, _ := randArith(rng, 3+rng.Intn(6))
+		b.Emit(ins...)
+		switch rng.Intn(4) {
+		case 0: // forward conditional skip
+			skip := "skip" + string(rune('a'+s))
+			b.Emit(
+				isa.Instr{Op: isa.CMPI, Rn: isa.Reg(rng.Intn(8)), Imm: int64(rng.Intn(100))},
+				isa.Instr{Op: isa.BCND, Cond: isa.Cond([]isa.Cond{isa.EQ, isa.NE, isa.LT, isa.GE}[rng.Intn(4)]), Label: skip},
+			)
+			more, _ := randArith(rng, 1+rng.Intn(3))
+			b.Emit(more...)
+			b.Label(skip)
+		case 1: // memory round-trip
+			off := int64(8 * rng.Intn(32))
+			r := isa.Reg(rng.Intn(8))
+			b.Emit(
+				isa.Instr{Op: isa.STR, Rd: r, Rn: isa.X10, Imm: off},
+				isa.Instr{Op: isa.LDR, Rd: isa.Reg(rng.Intn(8)), Rn: isa.X10, Imm: off},
+			)
+		case 2: // call a PAC-framed callee
+			b.Emit(isa.Instr{Op: isa.BL, Label: "fnpac"})
+		case 3: // call a plain callee
+			b.Emit(isa.Instr{Op: isa.BL, Label: "fnplain"})
+		}
+	}
+	b.Emit(
+		isa.Instr{Op: isa.SUBI, Rd: isa.X9, Rn: isa.X9, Imm: 1},
+		isa.Instr{Op: isa.CBNZ, Rn: isa.X9, Label: "outer"},
+		isa.Instr{Op: isa.HLT},
+	)
+	b.Label("fnpac")
+	b.Emit(isa.Instr{Op: isa.PACIASP})
+	ins, _ := randArith(rng, 1+rng.Intn(4))
+	b.Emit(ins...)
+	b.Emit(
+		isa.Instr{Op: isa.PACIA, Rd: isa.X4, Rn: isa.X28},
+		isa.Instr{Op: isa.PACIA, Rd: isa.X5, Rn: isa.X28},
+		isa.Instr{Op: isa.AUTIA, Rd: isa.X4, Rn: isa.X28},
+		isa.Instr{Op: isa.AUTIA, Rd: isa.X5, Rn: isa.X28},
+		isa.Instr{Op: isa.RETAA},
+	)
+	b.Label("fnplain")
+	more, _ := randArith(rng, 1+rng.Intn(4))
+	b.Emit(more...)
+	b.Emit(isa.Instr{Op: isa.RET, Rn: isa.LR})
+	return b.MustLink()
+}
+
+// TestBlockStepNSlicedBudgets drives the block engine through StepN
+// with adversarial budget slicings — including budgets that stop
+// mid-block and straddle the fused pair — and checks the machine
+// against an oracle advanced by exactly the same instruction counts.
+func TestBlockStepNSlicedBudgets(t *testing.T) {
+	for _, budgets := range [][]uint64{{1}, {2}, {3}, {7}, {64}, {1, 5, 2, 64, 3}} {
+		auth := btAuth(3)
+		restore := SetBlockCompile(true)
+		m := btBoot(t, btProgram, auth)
+		SetBlockCompile(false)
+		o := btBoot(t, btProgram, auth)
+		restore()
+
+		bi := 0
+		for !m.Halted {
+			restore := SetBlockCompile(true)
+			n, err := m.StepN(budgets[bi%len(budgets)])
+			restore()
+			bi++
+			if err != nil {
+				t.Fatalf("budgets %v: block run faulted: %v", budgets, err)
+			}
+			// Advance the oracle by the instructions StepN says retired.
+			for k := uint64(0); k < n; k++ {
+				if err := o.Step(); err != nil {
+					t.Fatalf("budgets %v: oracle faulted: %v", budgets, err)
+				}
+			}
+			if m.CaptureState() != o.CaptureState() {
+				t.Fatalf("budgets %v: state diverged after %d instrs:\nblock:  %+v\noracle: %+v",
+					budgets, o.Instrs, m.CaptureState(), o.CaptureState())
+			}
+		}
+		if !o.Halted {
+			t.Fatalf("budgets %v: oracle did not halt with the block engine", budgets)
+		}
+	}
+}
+
+// TestBlockInvalidationProtectMidRun revokes execute permission on the
+// code page while a compiled block (and a parked resume point) covers
+// it: the generation bump must invalidate the block and the next fetch
+// must fault exactly like the oracle's.
+func TestBlockInvalidationProtectMidRun(t *testing.T) {
+	btDiff(t, "protect-mid-run", func(t *testing.T) (*Machine, error) {
+		m := btBoot(t, btProgram, btAuth(9))
+		// Run far enough that the loop body is compiled hot, stopping
+		// mid-quantum so a resume point can be parked inside a block.
+		if _, err := m.StepN(75); err != nil {
+			return m, err
+		}
+		if err := m.Mem.Protect(btCode, mem.PageSize, mem.PermR); err != nil {
+			t.Fatal(err)
+		}
+		_, err := m.StepN(100_000)
+		if err == nil {
+			t.Fatal("expected a fetch fault after exec permission was revoked")
+		}
+		return m, err
+	})
+}
+
+// TestBlockInvalidationMapMidRun maps an additional executable region
+// mid-run — the generation bump must rebuild blocks, and execution
+// that branches into the new region must behave identically.
+func TestBlockInvalidationMapMidRun(t *testing.T) {
+	// The program spins until X11 is nonzero, then branches through X12
+	// into a second code region that halts.
+	src := `
+main:
+    movz X9, #60
+spin:
+    add  X0, X0, #1
+    sub  X9, X9, #1
+    cbnz X9, spin
+    br   X12
+`
+	second := `
+land:
+    movz X3, #77
+    hlt
+`
+	btDiff(t, "map-mid-run", func(t *testing.T) (*Machine, error) {
+		prog1, err := isa.Assemble(btCode, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog2, err := isa.Assemble(btCode+2*mem.PageSize, second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := isa.MergePrograms(prog1, prog2)
+		mm := mem.New()
+		if err := mm.Map(btCode, mem.PageSize, mem.PermRX); err != nil {
+			t.Fatal(err)
+		}
+		if err := mm.Map(btData, mem.PageSize, mem.PermRW); err != nil {
+			t.Fatal(err)
+		}
+		m := New(merged, mm, btAuth(11))
+		m.PC = btCode
+		m.SetReg(isa.SP, btStack)
+		m.SetReg(isa.X12, btCode+2*mem.PageSize)
+		// Let the spin loop get hot and compiled...
+		if _, err := m.StepN(40); err != nil {
+			return m, err
+		}
+		// ...then map the landing region executable mid-run.
+		if err := m.Mem.Map(btCode+2*mem.PageSize, mem.PageSize, mem.PermRX); err != nil {
+			t.Fatal(err)
+		}
+		return m, m.Run(100_000)
+	})
+}
+
+// TestBlockExecRegionShrinkFaultsIdentically shrinks the executable
+// image mid-run so a superblock that followed a static branch across
+// pages must stop compiling at the dead boundary and the branch must
+// fault in the interpreter, bit-for-bit like the oracle.
+func TestBlockExecRegionShrinkFaultsIdentically(t *testing.T) {
+	helper := `
+helper:
+    add  X0, X0, #3
+    ret  LR
+`
+	btDiff(t, "exec-shrink", func(t *testing.T) (*Machine, error) {
+		helperBase := btCode + mem.PageSize
+		bld := isa.NewBuilder(btCode)
+		bld.Emit(isa.Instr{Op: isa.MOVZ, Rd: isa.X9, Imm: 50})
+		bld.Label("loop")
+		bld.Emit(
+			isa.Instr{Op: isa.BL, Target: helperBase}, // cross-page direct call
+			isa.Instr{Op: isa.SUBI, Rd: isa.X9, Rn: isa.X9, Imm: 1},
+			isa.Instr{Op: isa.CBNZ, Rn: isa.X9, Label: "loop"},
+			isa.Instr{Op: isa.HLT},
+		)
+		prog1 := bld.MustLink()
+		prog2, err := isa.Assemble(helperBase, helper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := isa.MergePrograms(prog1, prog2)
+		mm := mem.New()
+		if err := mm.Map(btCode, 2*mem.PageSize, mem.PermRX); err != nil {
+			t.Fatal(err)
+		}
+		if err := mm.Map(btData, mem.PageSize, mem.PermRW); err != nil {
+			t.Fatal(err)
+		}
+		if err := mm.Map(btStack-mem.PageSize, mem.PageSize, mem.PermRW); err != nil {
+			t.Fatal(err)
+		}
+		m := New(merged, mm, btAuth(13))
+		m.PC = btCode
+		m.SetReg(isa.SP, btStack)
+		// Hot: the loop superblock follows the BL into the helper page.
+		if _, err := m.StepN(30); err != nil {
+			return m, err
+		}
+		// Shrink: the helper page loses execute. The next call must
+		// fault at the BL exactly as the interpreter would.
+		if err := mm.Protect(helperBase, mem.PageSize, mem.PermR); err != nil {
+			t.Fatal(err)
+		}
+		_, err = m.StepN(100_000)
+		if err == nil {
+			t.Fatal("expected a fault after the helper page lost execute permission")
+		}
+		return m, err
+	})
+}
+
+// TestBlockArmedHookFallsBackMidBlock arms a PreStep hook — the fault
+// engine's injection point — while a resume point is parked inside a
+// compiled block, right before the batched PAC pair. The armed hook
+// must force per-instruction fallback: it observes every subsequent
+// instruction boundary at exactly the oracle's (Instrs, PC) points,
+// and the corruption lands identically.
+func TestBlockArmedHookFallsBackMidBlock(t *testing.T) {
+	type obs struct {
+		Instrs uint64
+		PC     uint64
+	}
+	var blockedLog, oracleLog []obs
+	run := func(t *testing.T, log *[]obs) (*Machine, error) {
+		m := btBoot(t, btProgram, btAuth(17))
+		// Stop with a resume point parked mid-block: the btProgram
+		// main loop plus callee is longer than this odd budget.
+		if _, err := m.StepN(41); err != nil {
+			return m, err
+		}
+		// Fire inside the callee after its PAC ops, where LR holds the
+		// sealed return address and RETAA is the next consumer: with a
+		// flipped address bit the authentication fails and poisons the
+		// target. The PC trigger lands between the compiled block's
+		// entry and its batched PAC pair having executed — the armed
+		// hook must have forced all of it back to single-step.
+		fireAt := m.Prog.MustLookup("fn") + 5*isa.InstrSize // the add before retaa
+		fired := false
+		m.PreStep = func(m *Machine) error {
+			*log = append(*log, obs{m.Instrs, m.PC})
+			if !fired && m.PC == fireAt {
+				fired = true
+				m.SetReg(isa.LR, m.Reg(isa.LR)^(1<<30))
+			}
+			return nil
+		}
+		_, err := m.StepN(10_000)
+		return m, err
+	}
+	restore := SetBlockCompile(true)
+	m1, err1 := run(t, &blockedLog)
+	blocked := btSnap(t, m1, err1)
+	SetBlockCompile(false)
+	m2, err2 := run(t, &oracleLog)
+	oracle := btSnap(t, m2, err2)
+	restore()
+	if err1 == nil || err2 == nil {
+		t.Fatalf("corrupted LR must fault: block=%v oracle=%v", err1, err2)
+	}
+	var tf *TranslationFault
+	if !errors.As(err1, &tf) {
+		t.Errorf("expected a translation fault from the poisoned return, got %v", err1)
+	}
+	if !reflect.DeepEqual(blocked, oracle) {
+		t.Errorf("armed-hook run diverged:\nblock:  %+v\noracle: %+v", blocked.State, oracle.State)
+	}
+	if !reflect.DeepEqual(blockedLog, oracleLog) {
+		t.Errorf("hook observation streams differ: block saw %d points, oracle %d",
+			len(blockedLog), len(oracleLog))
+	}
+}
+
+// TestBlockTraceHookStreamsIdentical attaches a Trace hook mid-run:
+// tracing forces per-instruction fallback, and the traced tail plus
+// final state must match the oracle's exactly.
+func TestBlockTraceHookStreamsIdentical(t *testing.T) {
+	type ev struct {
+		PC uint64
+		Op isa.Op
+	}
+	run := func(t *testing.T, log *[]ev) (*Machine, error) {
+		m := btBoot(t, btProgram, btAuth(23))
+		if _, err := m.StepN(50); err != nil { // blocks hot, resume parked
+			return m, err
+		}
+		m.Trace = func(pc uint64, ins isa.Instr) { *log = append(*log, ev{pc, ins.Op}) }
+		return m, m.Run(100_000)
+	}
+	var blockedLog, oracleLog []ev
+	restore := SetBlockCompile(true)
+	m1, err1 := run(t, &blockedLog)
+	blocked := btSnap(t, m1, err1)
+	SetBlockCompile(false)
+	m2, err2 := run(t, &oracleLog)
+	oracle := btSnap(t, m2, err2)
+	restore()
+	if !reflect.DeepEqual(blocked, oracle) {
+		t.Errorf("traced run diverged:\nblock:  %+v\noracle: %+v", blocked.State, oracle.State)
+	}
+	if !reflect.DeepEqual(blockedLog, oracleLog) {
+		t.Fatalf("trace streams differ: block %d events, oracle %d events", len(blockedLog), len(oracleLog))
+	}
+	if len(blockedLog) == 0 {
+		t.Fatal("trace hook observed nothing")
+	}
+}
+
+// TestSetRegsForcesXZRSlot: the block executor reads the register
+// array directly, which is only sound if the XZR slot is pinned to
+// zero across SetRegs (context switches restore full register files).
+func TestSetRegsForcesXZRSlot(t *testing.T) {
+	m := btBoot(t, "movz X0, #1\nhlt", btAuth(1))
+	var r [isa.NumRegs]uint64
+	for i := range r {
+		r[i] = 0xDEAD
+	}
+	m.SetRegs(r)
+	if got := m.Reg(isa.XZR); got != 0 {
+		t.Fatalf("XZR reads %#x after SetRegs, want 0", got)
+	}
+	if m.Regs()[isa.XZR] != 0 {
+		t.Fatalf("XZR slot = %#x after SetRegs, want 0", m.Regs()[isa.XZR])
+	}
+}
+
+// TestBlockCostModelSwapMidRun changes the cost model between quanta:
+// the flat table and all per-block cycle prefixes must be rebuilt, so
+// cycle accounting matches an oracle running under the same swap.
+func TestBlockCostModelSwapMidRun(t *testing.T) {
+	btDiff(t, "cost-swap", func(t *testing.T) (*Machine, error) {
+		m := btBoot(t, btProgram, btAuth(29))
+		if _, err := m.StepN(70); err != nil {
+			return m, err
+		}
+		m.Cost.PAC = 9
+		m.Cost.Load = 11
+		return m, m.Run(100_000)
+	})
+}
+
+// TestBlockEngineToggleRoundTrip flips the engine off and on mid-run;
+// every segment must continue exactly where the previous one stopped.
+func TestBlockEngineToggleRoundTrip(t *testing.T) {
+	auth := btAuth(31)
+	restore := SetBlockCompile(false)
+	oracle := btBoot(t, btProgram, auth)
+	errO := oracle.Run(100_000)
+	restore()
+
+	m := btBoot(t, btProgram, auth)
+	var errB error
+	on := true
+	for !m.Halted && errB == nil {
+		r := SetBlockCompile(on)
+		_, errB = m.StepN(37)
+		r()
+		on = !on
+	}
+	if (errB == nil) != (errO == nil) {
+		t.Fatalf("toggled run error %v, oracle %v", errB, errO)
+	}
+	if m.CaptureState() != oracle.CaptureState() {
+		t.Fatalf("toggled run diverged:\ntoggled: %+v\noracle:  %+v", m.CaptureState(), oracle.CaptureState())
+	}
+}

@@ -32,6 +32,15 @@ func DefaultCostModel() CostModel {
 	}
 }
 
+// equal reports whether two cost models match, field by field. The
+// engine compares models on every dispatch to revalidate the flat
+// cost table; the naive struct compare compiles to a runtime memequal
+// call that profiles at double-digit percent of engine time.
+func (c CostModel) equal(o CostModel) bool {
+	return c.Default == o.Default && c.Load == o.Load && c.Store == o.Store &&
+		c.Branch == o.Branch && c.Mul == o.Mul && c.PAC == o.PAC && c.Syscall == o.Syscall
+}
+
 // Cost returns the cycle cost of one instruction.
 func (c CostModel) Cost(op isa.Op) int {
 	switch op {

@@ -152,6 +152,17 @@ type Machine struct {
 	costSrc     CostModel // source of the cost table
 	costTab     [isa.NumOps]uint32
 	costTabInit bool
+
+	// Trace-compilation state (block.go): compiled superblocks indexed
+	// by program slot, per-entry heat counters gating compilation, the
+	// program the arrays were sized for, and the resume point parked by
+	// a mid-block budget stop. All derived state: revalidated against
+	// Prog / Auth / Cost / mem generation at every dispatch.
+	blocks    []*block
+	heat      []uint8
+	blockProg *isa.Program
+	resumeB   *block
+	resumeIdx int
 }
 
 // cacheProg (re)derives the decode cache from m.Prog.
@@ -221,8 +232,14 @@ func (m *Machine) SetReg(r isa.Reg, v uint64) {
 // Regs returns a copy of the register file, for context switching.
 func (m *Machine) Regs() [isa.NumRegs]uint64 { return m.regs }
 
-// SetRegs replaces the register file, for context switching.
-func (m *Machine) SetRegs(r [isa.NumRegs]uint64) { m.regs = r }
+// SetRegs replaces the register file, for context switching. The XZR
+// slot is forced to zero: SetReg discards XZR writes, so the slot is
+// zero on every machine and the block executor (block.go) relies on
+// reading it directly.
+func (m *Machine) SetRegs(r [isa.NumRegs]uint64) {
+	r[isa.XZR] = 0
+	m.regs = r
+}
 
 func (m *Machine) fault(err error) error {
 	sym, _ := m.Prog.SymbolFor(m.PC)
@@ -268,7 +285,7 @@ func (m *Machine) Step() error {
 	if m.Trace != nil {
 		m.Trace(m.PC, ins)
 	}
-	if m.Cost != m.costSrc || !m.costTabInit {
+	if !m.costTabInit || !m.Cost.equal(m.costSrc) {
 		m.cacheCost()
 	}
 	if uint(ins.Op) < uint(isa.NumOps) {
@@ -526,14 +543,24 @@ func (m *Machine) condHolds(c isa.Cond) bool {
 	return false
 }
 
-// Run steps until the machine halts, faults, or exceeds maxSteps.
+// Run steps until the machine halts, faults, or exceeds maxSteps. Hot
+// code dispatches through compiled superblocks (StepN); the result is
+// observably identical to a Step loop.
 func (m *Machine) Run(maxSteps uint64) error {
-	for i := uint64(0); i < maxSteps; i++ {
+	for done := uint64(0); done < maxSteps; {
 		if m.Halted {
 			return nil
 		}
-		if err := m.Step(); err != nil {
+		n, err := m.StepN(maxSteps - done)
+		if err != nil {
 			return err
+		}
+		done += n
+		if n == 0 && !m.Halted {
+			// A faulting step retires on the machine but reports zero
+			// progress; without an error that cannot happen unless the
+			// machine halted — guard against livelock regardless.
+			done++
 		}
 	}
 	if m.Halted {

@@ -91,6 +91,44 @@ func (p *Program) Disassemble() string {
 	return b.String()
 }
 
+// MergePrograms links several programs into one image spanning all of
+// them: based at the lowest Base, with the address gaps between inputs
+// filled by undefined instructions, so fetching from a gap faults like
+// fetching any other undefined opcode. Symbol tables are merged.
+// Overlapping images or duplicate symbols panic: the inputs come from
+// assemblers and generators, so either is a programming error.
+func MergePrograms(progs ...*Program) *Program {
+	if len(progs) == 0 {
+		panic("isa: MergePrograms with no inputs")
+	}
+	sorted := make([]*Program, len(progs))
+	copy(sorted, progs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Base < sorted[j].Base })
+	out := &Program{Base: sorted[0].Base, Symbols: make(map[string]uint64)}
+	filler := Instr{Op: numOps} // undefined: faults if ever fetched
+	for _, p := range sorted {
+		end := out.Base + out.Size()
+		if p.Base < end {
+			panic(fmt.Sprintf("isa: MergePrograms overlap at %#x", p.Base))
+		}
+		if gap := p.Base - end; gap%InstrSize != 0 {
+			panic(fmt.Sprintf("isa: MergePrograms misaligned base %#x", p.Base))
+		} else {
+			for i := uint64(0); i < gap/InstrSize; i++ {
+				out.Instrs = append(out.Instrs, filler)
+			}
+		}
+		out.Instrs = append(out.Instrs, p.Instrs...)
+		for name, addr := range p.Symbols {
+			if _, dup := out.Symbols[name]; dup {
+				panic("isa: MergePrograms duplicate symbol " + name)
+			}
+			out.Symbols[name] = addr
+		}
+	}
+	return out
+}
+
 // Builder accumulates instructions and labels and links them into a
 // Program.
 type Builder struct {

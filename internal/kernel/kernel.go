@@ -353,18 +353,26 @@ func (p *Process) RunCtx(ctx context.Context, maxInstrs uint64) error {
 			tel.Quanta.Inc()
 		}
 		// Context switch in: the task's registers were sitting in the
-		// kernel task struct the whole time.
-		for q := 0; q < Quantum && !t.Done && !p.Exited; q++ {
-			if err := t.M.Step(); err != nil {
+		// kernel task struct the whole time. The quantum is retired
+		// through StepN so hot code runs block-compiled; the count it
+		// returns excludes a faulting instruction, exactly like the old
+		// per-Step loop.
+		for q := uint64(0); q < Quantum && !t.Done && !p.Exited; {
+			n, err := t.M.StepN(Quantum - q)
+			executed += n
+			q += n
+			if err != nil {
 				p.Exited = true
 				if p.Kill == nil { // sigreturn may have filed a more precise report
 					p.recordKill(t, err)
 				}
 				return err
 			}
-			executed++
 			if t.M.Halted {
 				t.Done = true
+			}
+			if n == 0 {
+				break
 			}
 		}
 	}

@@ -9,6 +9,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 )
@@ -97,6 +98,23 @@ type Memory struct {
 	// (cpu.Machine's executable-window cache) key on it so they only
 	// re-walk pages after a Map or Protect.
 	gen uint64
+
+	// Data lookaside: the last page served for a read and for a write,
+	// with the permission check already passed. A nil page marks the
+	// entry invalid; Map, Protect and FromPages invalidate both (any
+	// mapping or permission change might revoke what the entry
+	// proved), so the fast path needs no generation compare. Clone
+	// copies neither entry — the clone's pages are fresh objects.
+	lrNum uint64 // page number of lrPg
+	lrPg  *page  // last read-permitted page, or nil
+	lwNum uint64
+	lwPg  *page // last write-permitted page, or nil
+}
+
+// dropTLB invalidates the data lookaside entries.
+func (m *Memory) dropTLB() {
+	m.lrPg = nil
+	m.lwPg = nil
 }
 
 // New returns an empty address space.
@@ -143,6 +161,7 @@ func (m *Memory) Map(addr, size uint64, perm Perm) error {
 		m.pages[p] = &page{perm: perm}
 	}
 	m.gen++
+	m.dropTLB()
 	return nil
 }
 
@@ -163,6 +182,7 @@ func (m *Memory) Protect(addr, size uint64, perm Perm) error {
 		m.pages[p].perm = perm
 	}
 	m.gen++
+	m.dropTLB()
 	return nil
 }
 
@@ -202,38 +222,61 @@ func (m *Memory) access(addr uint64, n int, kind AccessKind, need Perm) (*page, 
 
 // Read64 loads a little-endian 64-bit word.
 func (m *Memory) Read64(addr uint64) (uint64, error) {
+	if pg := m.lrPg; pg != nil && addr/PageSize == m.lrNum {
+		if off := addr % PageSize; off <= PageSize-8 {
+			return le64(pg.data[off:]), nil
+		}
+		// Page-straddling word: fall through for the exact fault.
+	}
 	pg, off, err := m.access(addr, 8, AccessRead, PermR)
 	if err != nil {
 		return 0, err
 	}
+	m.lrNum, m.lrPg = addr/PageSize, pg
 	return le64(pg.data[off:]), nil
 }
 
 // Write64 stores a little-endian 64-bit word.
 func (m *Memory) Write64(addr, v uint64) error {
+	if pg := m.lwPg; pg != nil && addr/PageSize == m.lwNum {
+		if off := addr % PageSize; off <= PageSize-8 {
+			putLE64(pg.data[off:], v)
+			return nil
+		}
+	}
 	pg, off, err := m.access(addr, 8, AccessWrite, PermW)
 	if err != nil {
 		return err
 	}
+	m.lwNum, m.lwPg = addr/PageSize, pg
 	putLE64(pg.data[off:], v)
 	return nil
 }
 
 // Read8 loads one byte.
 func (m *Memory) Read8(addr uint64) (byte, error) {
+	if pg := m.lrPg; pg != nil && addr/PageSize == m.lrNum {
+		return pg.data[addr%PageSize], nil
+	}
 	pg, off, err := m.access(addr, 1, AccessRead, PermR)
 	if err != nil {
 		return 0, err
 	}
+	m.lrNum, m.lrPg = addr/PageSize, pg
 	return pg.data[off], nil
 }
 
 // Write8 stores one byte.
 func (m *Memory) Write8(addr uint64, v byte) error {
+	if pg := m.lwPg; pg != nil && addr/PageSize == m.lwNum {
+		pg.data[addr%PageSize] = v
+		return nil
+	}
 	pg, off, err := m.access(addr, 1, AccessWrite, PermW)
 	if err != nil {
 		return err
 	}
+	m.lwNum, m.lwPg = addr/PageSize, pg
 	pg.data[off] = v
 	return nil
 }
@@ -363,16 +406,6 @@ func FromPages(pages []PageState) (*Memory, error) {
 	return m, nil
 }
 
-func le64(b []byte) uint64 {
-	var v uint64
-	for i := 7; i >= 0; i-- {
-		v = v<<8 | uint64(b[i])
-	}
-	return v
-}
+func le64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
 
-func putLE64(b []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> uint(8*i))
-	}
-}
+func putLE64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }

@@ -358,3 +358,108 @@ func TestGenBumpsOnMapAndProtect(t *testing.T) {
 		t.Fatal("Protect did not bump the generation")
 	}
 }
+
+// The data lookaside (the last read-permitted and write-permitted
+// page) must be semantically invisible: these tests drive each edge
+// where a stale entry could change behaviour.
+
+func TestTLBProtectRevokesCachedPage(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, PermRW)
+	// Prime both lookaside entries with full-permission accesses.
+	if err := m.Write64(0x1000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read64(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	// Downgrade to read-only: the cached write entry must not let a
+	// write through.
+	if err := m.Protect(0x1000, PageSize, PermR); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write64(0x1000, 8); err == nil {
+		t.Error("Write64 through a stale lookaside entry succeeded after Protect")
+	}
+	if err := m.Write8(0x1000, 8); err == nil {
+		t.Error("Write8 through a stale lookaside entry succeeded after Protect")
+	}
+	if v, err := m.Read64(0x1000); err != nil || v != 7 {
+		t.Errorf("read-only page unreadable after Protect: %d, %v", v, err)
+	}
+	// Downgrade to write-only: the cached read entry must miss too.
+	if err := m.Protect(0x1000, PageSize, PermW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read64(0x1000); err == nil {
+		t.Error("Read64 through a stale lookaside entry succeeded after Protect")
+	}
+	if _, err := m.Read8(0x1000); err == nil {
+		t.Error("Read8 through a stale lookaside entry succeeded after Protect")
+	}
+}
+
+func TestTLBStraddleStillFaultsExactly(t *testing.T) {
+	// A primed lookaside entry covers the page, but a word straddling
+	// its end must still take the slow path and fault identically.
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, PermRW)
+	if err := m.Write64(0x1000, 1); err != nil { // prime
+		t.Fatal(err)
+	}
+	edge := uint64(0x1000) + PageSize - 4
+	var f *Fault
+	if err := m.Write64(edge, 2); err == nil {
+		t.Error("straddling Write64 succeeded via the lookaside")
+	} else if !errors.As(err, &f) {
+		t.Errorf("straddling Write64 error is not a *Fault: %v", err)
+	}
+	if _, err := m.Read64(edge); err == nil {
+		t.Error("straddling Read64 succeeded via the lookaside")
+	}
+}
+
+func TestTLBCloneStartsCold(t *testing.T) {
+	// Clone builds fresh page objects; a lookaside primed on the
+	// source must not alias them — writes through it stay in the
+	// source, and the clone diverges permissions independently.
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, PermRW)
+	if err := m.Write64(0x1000, 1); err != nil { // prime source TLB
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	if err := m.Write64(0x1000, 2); err != nil { // lookaside-hit path
+		t.Fatal(err)
+	}
+	if v, _ := c.Read64(0x1000); v != 1 {
+		t.Errorf("source lookaside write leaked into clone: %d", v)
+	}
+	if err := c.Protect(0x1000, PageSize, PermR); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write64(0x1000, 3); err != nil {
+		t.Errorf("clone Protect affected source writes: %v", err)
+	}
+}
+
+func TestTLBSeesInPlaceMutation(t *testing.T) {
+	// The lookaside caches the page object, not its bytes: an
+	// adversary Poke mutating the page in place must be visible to a
+	// lookaside-hit read immediately.
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, PermRW)
+	if err := m.Write64(0x1000, 0xAAAA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read64(0x1000); err != nil { // prime read entry
+		t.Fatal(err)
+	}
+	adv := NewAdversary(m)
+	if err := adv.Poke(0x1000, 0xBBBB); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read64(0x1000); v != 0xBBBB {
+		t.Errorf("lookaside read returned stale data %#x after Poke", v)
+	}
+}

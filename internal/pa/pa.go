@@ -308,7 +308,14 @@ func (a *Authenticator) IsCanonical(p uint64) bool {
 // the canonical pointer with the modifier as the tweak, then spread
 // into the PAC field.
 func (a *Authenticator) computePAC(key KeyID, p, modifier uint64) uint64 {
-	cp := a.Canonical(p)
+	return a.computePACCanonical(key, a.Canonical(p), modifier)
+}
+
+// computePACCanonical is computePAC for a pointer the caller has
+// already canonicalized — the single-canonicalization entry every
+// sealing/authentication path funnels through, so each PA operation
+// canonicalizes its pointer exactly once.
+func (a *Authenticator) computePACCanonical(key KeyID, cp, modifier uint64) uint64 {
 	e := &a.cache[pacIndex(key, cp, modifier)]
 	// seq 0 marks a never-written entry (so the zero tuple cannot
 	// false-hit an empty slot); odd marks a write in progress.
@@ -379,13 +386,14 @@ func (a *Authenticator) depositPAC(v uint64) uint64 {
 // This behaviour is what enables — and lets us reproduce — the
 // aut/pac re-signing gadget of Section 6.3.1.
 func (a *Authenticator) AddPAC(key KeyID, p, modifier uint64) uint64 {
-	pac := a.computePAC(key, p, modifier)
-	if !a.IsCanonical(p) {
+	cp := a.Canonical(p)
+	pac := a.computePACCanonical(key, cp, modifier)
+	if p != cp {
 		pac ^= a.nthPACBit(poisonBit)
 	}
 	if tr := a.tr; tr != nil {
 		tr.PACIssued.Inc()
-		if a.Canonical(p) == 0 {
+		if cp == 0 {
 			// PAC over the zero pointer: the Listing 3 mask shape.
 			tr.Masks.Inc()
 			tr.Events.Record(telemetry.EvMask, key.String(), "", modifier)
@@ -393,7 +401,20 @@ func (a *Authenticator) AddPAC(key KeyID, p, modifier uint64) uint64 {
 			tr.Events.Record(telemetry.EvPACIssued, key.String(), "", p)
 		}
 	}
-	return a.Canonical(p)&^a.pacMask | pac
+	return cp&^a.pacMask | pac
+}
+
+// AddPACPair seals two pointers under the same key and modifier in one
+// call: the batched entry point the block-compiled execution engine
+// (internal/cpu) uses when a superblock contains adjacent pac*
+// instructions sharing a modifier — the PACStack masked prologue's
+// "sign LR, then derive the PAC(0, ·) mask" pair (Listing 3). Both
+// seals flow through the same memo path and emit the same trace
+// updates, in the same order, as two AddPAC calls would; only the call
+// overhead is batched, so block-compiled and single-step execution
+// stay observably identical.
+func (a *Authenticator) AddPACPair(key KeyID, p1, p2, modifier uint64) (uint64, uint64) {
+	return a.AddPAC(key, p1, modifier), a.AddPAC(key, p2, modifier)
 }
 
 // nthPACBit returns the mask of the n-th lowest bit of the PAC field.
@@ -413,13 +434,14 @@ func (a *Authenticator) nthPACBit(n int) uint64 {
 // Matching the architecture (and current PA behaviour in Linux 5.0),
 // Auth itself never traps; the fault happens at use.
 func (a *Authenticator) Auth(key KeyID, p, modifier uint64) (res uint64, ok bool) {
-	want := a.computePAC(key, p, modifier)
+	cp := a.Canonical(p)
+	want := a.computePACCanonical(key, cp, modifier)
 	if p&a.pacMask == want {
 		if tr := a.tr; tr != nil {
 			tr.AuthOK.Inc()
 			tr.Events.Record(telemetry.EvAuthOK, key.String(), "", p)
 		}
-		return a.Canonical(p), true
+		return cp, true
 	}
 	if tr := a.tr; tr != nil {
 		// A broken auth_i = H_k(ret_i, aret_{i-1}) link — the event
@@ -427,7 +449,7 @@ func (a *Authenticator) Auth(key KeyID, p, modifier uint64) (res uint64, ok bool
 		tr.AuthFail.Inc()
 		tr.Events.Record(telemetry.EvAuthFail, key.String(), "", p)
 	}
-	bad := a.Canonical(p)
+	bad := cp
 	switch key {
 	case KeyIB, KeyDB:
 		bad ^= a.nthPACBit(a.PACBits() - 2)

@@ -3,11 +3,13 @@ package pa
 import (
 	"fmt"
 	mrand "math/rand"
+	"reflect"
 	"sync"
 	"testing"
 	"testing/quick"
 
 	"pacstack/internal/qarma"
+	"pacstack/internal/telemetry"
 )
 
 // testKeys draws a fixed deterministic key set for cache tests that
@@ -419,5 +421,63 @@ func TestPACCacheConcurrentUse(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestAddPACPairMatchesTwoSeals(t *testing.T) {
+	// AddPACPair is the block engine's batched entry point for the
+	// fused masked-prologue shape: it must be observably identical to
+	// two AddPAC calls — same sealed values AND the same trace
+	// counters and event stream, in the same order.
+	keys := testKeys()
+	mkTraced := func() (*Authenticator, *Trace) {
+		a := New(keys, DefaultConfig())
+		reg := telemetry.NewRegistry()
+		tr := &Trace{
+			PACIssued: reg.Counter("pac_issued", ""),
+			Masks:     reg.Counter("masks", ""),
+			MemoHit:   reg.Counter("memo_hit", ""),
+			MemoMiss:  reg.Counter("memo_miss", ""),
+			Events:    telemetry.NewEventLog(64),
+		}
+		a.SetTrace(tr)
+		return a, tr
+	}
+	paired, ptr := mkTraced()
+	serial, str := mkTraced()
+	rng := mrand.New(mrand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		p1 := rng.Uint64() & 0x7FFF_FFFF_FFFF
+		p2 := rng.Uint64() & 0x7FFF_FFFF_FFFF
+		if i%5 == 0 {
+			p1 = 0 // the Listing 3 mask shape must count as a mask
+		}
+		if i%7 == 0 {
+			p1 |= 1 << 62 // non-canonical: the poison bit must carry
+		}
+		mod := rng.Uint64()
+		key := KeyID(rng.Intn(int(numKeys)))
+		g1, g2 := paired.AddPACPair(key, p1, p2, mod)
+		w1 := serial.AddPAC(key, p1, mod)
+		w2 := serial.AddPAC(key, p2, mod)
+		if g1 != w1 || g2 != w2 {
+			t.Fatalf("query %d: AddPACPair = (%#x, %#x), two AddPACs = (%#x, %#x)", i, g1, g2, w1, w2)
+		}
+	}
+	if a, b := ptr.PACIssued.Value(), str.PACIssued.Value(); a != b {
+		t.Errorf("PACIssued diverged: pair %d, serial %d", a, b)
+	}
+	if a, b := ptr.Masks.Value(), str.Masks.Value(); a != b {
+		t.Errorf("Masks diverged: pair %d, serial %d", a, b)
+	}
+	if a, b := ptr.MemoHit.Value(), str.MemoHit.Value(); a != b {
+		t.Errorf("MemoHit diverged: pair %d, serial %d", a, b)
+	}
+	if a, b := ptr.MemoMiss.Value(), str.MemoMiss.Value(); a != b {
+		t.Errorf("MemoMiss diverged: pair %d, serial %d", a, b)
+	}
+	pe, se := ptr.Events.Snapshot(), str.Events.Snapshot()
+	if !reflect.DeepEqual(pe, se) {
+		t.Errorf("event streams diverged: pair %d events, serial %d events", len(pe.Events), len(se.Events))
 	}
 }
