@@ -63,3 +63,33 @@ cmp /tmp/pacstack-cluster-a.json /tmp/pacstack-cluster-b.json
 cmp /tmp/pacstack-cluster-tel-a.json /tmp/pacstack-cluster-tel-b.json
 rm -f /tmp/pacstack-cluster-a.json /tmp/pacstack-cluster-b.json \
       /tmp/pacstack-cluster-tel-a.json /tmp/pacstack-cluster-tel-b.json
+
+# Cascading-failure smoke: the fleet loses two backends (seeded
+# victims) with -failover-budget 2 — both kills must be absorbed, each
+# charging the budget once, each dead backend's machines migrated and
+# its orphans replayed exactly once. Same -par 1 vs 8 cmp as above.
+CASCADE_FLAGS="-backends 3 -clients 6 -requests 10 -seed 11 -chaos-rate 0.1 -heal 1 -kill-at 40000,60000 -failover-budget 2"
+go run -race ./cmd/pacstack-cluster $CASCADE_FLAGS -par 1 -check -json > /tmp/pacstack-cascade-a.json
+go run -race ./cmd/pacstack-cluster $CASCADE_FLAGS -par 8 -check -json > /tmp/pacstack-cascade-b.json
+cmp /tmp/pacstack-cascade-a.json /tmp/pacstack-cascade-b.json
+rm -f /tmp/pacstack-cascade-a.json /tmp/pacstack-cascade-b.json
+
+# Heavy-tail traffic + SLO smoke: the open-loop burst scenario under
+# adaptive admission. The two runs differ only in precompute width
+# (-par 1 vs 8); cmp on the SLO report and the telemetry dump enforces
+# that SLO evaluation is a pure function of the seed.
+TRAFFIC_FLAGS="-traffic burst -seed 42 -workers 4 -cores 32 -chaos-rate 0.02 -heal 1 -adaptive"
+go run -race ./cmd/pacstack-soak $TRAFFIC_FLAGS -par 1 -check -slo-report /tmp/pacstack-slo-a.json -telemetry-dump /tmp/pacstack-traffic-tel-a.json > /tmp/pacstack-traffic-a.txt
+go run -race ./cmd/pacstack-soak $TRAFFIC_FLAGS -par 8 -check -slo-report /tmp/pacstack-slo-b.json -telemetry-dump /tmp/pacstack-traffic-tel-b.json > /tmp/pacstack-traffic-b.txt
+cmp /tmp/pacstack-traffic-a.txt /tmp/pacstack-traffic-b.txt
+cmp /tmp/pacstack-slo-a.json /tmp/pacstack-slo-b.json
+cmp /tmp/pacstack-traffic-tel-a.json /tmp/pacstack-traffic-tel-b.json
+rm -f /tmp/pacstack-traffic-a.txt /tmp/pacstack-traffic-b.txt \
+      /tmp/pacstack-slo-a.json /tmp/pacstack-slo-b.json \
+      /tmp/pacstack-traffic-tel-a.json /tmp/pacstack-traffic-tel-b.json
+
+# Overload-control gate: the canned 10x burst must break static
+# admission (shed/error budgets blown) while the AIMD-resized pool
+# holds every class SLO — non-zero exit unless both halves hold, so
+# neither a toothless scenario nor a regressed controller can pass.
+go run -race ./cmd/pacstack-soak -traffic-gate -seed 42 -workers 4 -cores 32 -chaos-rate 0.02 -heal 1 > /dev/null

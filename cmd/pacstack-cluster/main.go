@@ -3,19 +3,22 @@
 //
 // Default mode runs the deterministic cluster soak: N modeled backends
 // behind the breaker-aware router take seeded virtual-time traffic,
-// optionally losing one backend mid-run (-kill-at). The dead backend's
-// checkpointed machines migrate to a survivor over the snap codec with
-// re-seeded PA keys, and its in-flight requests replay exactly once.
-// One seed produces a byte-identical report on any machine at any
-// worker-pool width (-par) — run it twice and diff.
+// optionally losing backends mid-run (-kill-at takes a comma-separated
+// list of virtual cycles for a cascading-failure scenario). Each dead
+// backend's checkpointed machines migrate to a survivor over the snap
+// codec with re-seeded PA keys, and its in-flight requests replay
+// exactly once — while the failover budget lasts; deaths beyond the
+// budget abandon their orphans loudly. One seed produces a
+// byte-identical report on any machine at any worker-pool width
+// (-par) — run it twice and diff.
 //
 //	pacstack-cluster [-backends N] [-clients N] [-requests N]
 //	                 [-workload NAME] [-schemes LIST] [-seed N]
 //	                 [-chaos-rate F] [-chaos-kinds LIST] [-heal N]
 //	                 [-workers N] [-queue N] [-retries N]
 //	                 [-breaker-threshold N] [-checkpoint-every N]
-//	                 [-checkpoint-crash F] [-kill-at CYCLES]
-//	                 [-kill-backend N] [-migrate-latency CYCLES]
+//	                 [-checkpoint-crash F] [-kill-at CYCLES[,CYCLES...]]
+//	                 [-kill-backend N[,N...]] [-migrate-latency CYCLES]
 //	                 [-failover-budget N] [-par N]
 //	                 [-json] [-check] [-telemetry-dump PATH]
 //
@@ -23,7 +26,7 @@
 // criteria: non-zero unless every request reached a terminal state
 // (zero silent losses), migrated machines restored with re-seeded
 // keys, no request replayed twice, and the restart budget was charged
-// exactly once for the kill.
+// exactly once per absorbed kill.
 //
 // With -daemon, it serves the live fleet over HTTP instead:
 //
@@ -43,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -72,8 +76,8 @@ func main() {
 	queue := flag.Int("queue", 0, "modelled per-backend queue (0: 2*workers, <0: none)")
 	retries := flag.Int("retries", 3, "client retry budget for sheds and breaker denials")
 	brThreshold := flag.Int("breaker-threshold", 8, "per-backend breaker threshold (<0: disabled)")
-	killAt := flag.Uint64("kill-at", 0, "kill one backend at this virtual cycle (0: never)")
-	killBackend := flag.Int("kill-backend", -1, "which backend dies at -kill-at (<0: seeded pick)")
+	killAt := flag.String("kill-at", "", "comma-separated virtual cycles; one backend dies at each (empty: never)")
+	killBackend := flag.String("kill-backend", "", "comma-separated victims aligned with -kill-at (missing or <0: seeded pick)")
 	migrateLatency := flag.Uint64("migrate-latency", 5_000, "virtual cycles to ship snapshots and replay orphans")
 	failoverBudget := flag.Int("failover-budget", 1, "backend deaths the cluster absorbs with migration")
 	parWidth := flag.Int("par", 0, "precompute worker-pool width (0: GOMAXPROCS); the report must not depend on it")
@@ -92,6 +96,10 @@ func main() {
 		log.Fatal(err)
 	}
 	schemeList := strings.Split(*schemes, ",")
+	killList, err := parseKills(*killAt, *killBackend)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *daemon {
 		cl, err := cluster.New(cluster.Config{
@@ -142,8 +150,7 @@ func main() {
 		Queue:            *queue,
 		Retries:          *retries,
 		BreakerThreshold: *brThreshold,
-		KillAt:           *killAt,
-		KillBackend:      *killBackend,
+		Kills:            killList,
 		MigrateLatency:   *migrateLatency,
 		FailoverBudget:   *failoverBudget,
 		Telemetry:        tel,
@@ -191,6 +198,43 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseKills turns the -kill-at / -kill-backend comma lists into kill
+// specs. Backends align positionally with the cycles; a missing or
+// negative entry means a seeded pick from the then-alive backends.
+func parseKills(ats, backends string) ([]cluster.KillSpec, error) {
+	if strings.TrimSpace(ats) == "" {
+		if strings.TrimSpace(backends) != "" {
+			return nil, fmt.Errorf("-kill-backend without -kill-at")
+		}
+		return nil, nil
+	}
+	atParts := strings.Split(ats, ",")
+	var beParts []string
+	if strings.TrimSpace(backends) != "" {
+		beParts = strings.Split(backends, ",")
+		if len(beParts) > len(atParts) {
+			return nil, fmt.Errorf("-kill-backend lists %d victims for %d kills", len(beParts), len(atParts))
+		}
+	}
+	kills := make([]cluster.KillSpec, 0, len(atParts))
+	for i, p := range atParts {
+		at, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil || at == 0 {
+			return nil, fmt.Errorf("-kill-at entry %d: want a positive virtual cycle, got %q", i, p)
+		}
+		spec := cluster.KillSpec{At: at, Backend: -1}
+		if i < len(beParts) {
+			b, err := strconv.Atoi(strings.TrimSpace(beParts[i]))
+			if err != nil {
+				return nil, fmt.Errorf("-kill-backend entry %d: %q", i, beParts[i])
+			}
+			spec.Backend = b
+		}
+		kills = append(kills, spec)
+	}
+	return kills, nil
 }
 
 // runDaemon serves the live fleet until SIGTERM/SIGINT, then drains

@@ -14,8 +14,28 @@
 //	              [-chaos-kinds LIST] [-heal N] [-workers N] [-queue N]
 //	              [-retries N] [-breaker-threshold N]
 //	              [-checkpoint-every N] [-checkpoint-crash F]
+//	              [-traffic default|burst] [-traffic-rate F]
+//	              [-traffic-horizon N] [-traffic-hostile]
+//	              [-burst-factor F] [-cores N]
+//	              [-adaptive] [-adaptive-max N] [-adaptive-step N]
+//	              [-adaptive-interval N] [-adaptive-target N]
+//	              [-slo-report PATH] [-traffic-gate] [-par N]
 //	              [-json] [-check] [-telemetry-dump PATH]
 //	              [-cpuprofile FILE] [-memprofile FILE]
+//
+// With -traffic, the closed-loop client model is replaced by the
+// open-loop heavy-tail replay (internal/traffic): a seeded
+// diurnal/burst arrival stream over a production-shaped cost mixture,
+// per-class SLO evaluation appended to the report, and — with
+// -adaptive — the clock-free AIMD controller resizing the admission
+// limit in virtual time. -clients/-requests/-workload are ignored in
+// this mode; the model decides arrivals and workloads.
+//
+// With -traffic-gate, the canned burst scenario (traffic.BurstScenario)
+// runs twice with the other flags' parameters — once static, once
+// adaptive — and the exit status is non-zero unless the adaptive run
+// holds every class SLO where the static run demonstrably fails. This
+// is the check.sh overload-control criterion.
 //
 // With -check, the exit status enforces the robustness acceptance
 // criteria: non-zero if any silent corruption was recorded or the run
@@ -47,8 +67,11 @@ import (
 	"strings"
 
 	"pacstack/internal/harness"
+	"pacstack/internal/par"
+	"pacstack/internal/resilience"
 	"pacstack/internal/serve"
 	"pacstack/internal/telemetry"
+	"pacstack/internal/traffic"
 )
 
 func main() {
@@ -68,12 +91,31 @@ func main() {
 	queue := flag.Int("queue", 0, "modelled admission queue (0: 2*workers, <0: none)")
 	retries := flag.Int("retries", 3, "client retry budget for sheds and breaker denials")
 	brThreshold := flag.Int("breaker-threshold", 8, "breaker threshold in the traffic model (<0: disabled)")
+	trafficMode := flag.String("traffic", "", "open-loop traffic model: default or burst (empty: closed-loop clients)")
+	trafficRate := flag.Float64("traffic-rate", 0, "override the model's base arrival rate per kcycle (0: model default)")
+	trafficHorizon := flag.Uint64("traffic-horizon", 0, "override the model's horizon in virtual cycles (0: model default)")
+	trafficHostile := flag.Bool("traffic-hostile", false, "add the hostile classes (slow clients, poison requests) to the model")
+	burstFactor := flag.Float64("burst-factor", 0, "override every burst overlay's rate multiplier (0: model default)")
+	cores := flag.Int("cores", 0, "modelled host cores bounding the contention penalty in traffic mode (0: workers)")
+	adaptive := flag.Bool("adaptive", false, "resize the admission limit with the AIMD controller (traffic mode)")
+	adaptiveMax := flag.Int("adaptive-max", 48, "AIMD limit ceiling")
+	adaptiveStep := flag.Int("adaptive-step", 4, "AIMD additive-increase step")
+	adaptiveInterval := flag.Uint64("adaptive-interval", 0, "AIMD control-window length in virtual cycles (0: 10000)")
+	adaptiveTarget := flag.Uint64("adaptive-target", 0, "AIMD service-dilation congestion target in cycles (0: 1048576)")
+	sloReport := flag.String("slo-report", "", "write the SLO report as JSON to this path (traffic mode)")
+	trafficGate := flag.Bool("traffic-gate", false, "run the canned burst scenario static then adaptive; exit non-zero unless adaptive holds every SLO where static fails")
+	parWidth := flag.Int("par", 0, "precompute worker-pool width (0: GOMAXPROCS); the report must not depend on it")
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of the table")
 	check := flag.Bool("check", false, "exit non-zero on silent corruption or a non-graceful run")
 	telemetryDump := flag.String("telemetry-dump", "", "write the run's telemetry (metrics + events) as JSON to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	if *parWidth > 0 {
+		restore := par.SetWorkers(*parWidth)
+		defer restore()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -104,11 +146,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var tel *telemetry.Set
-	if *telemetryDump != "" {
-		tel = telemetry.New(telemetry.Options{})
+
+	var aimd *resilience.AIMDConfig
+	if *adaptive || *trafficGate {
+		aimd = &resilience.AIMDConfig{
+			Max:           *adaptiveMax,
+			Step:          *adaptiveStep,
+			Interval:      *adaptiveInterval,
+			LatencyTarget: *adaptiveTarget,
+		}
 	}
-	rep, err := serve.Soak(context.Background(), serve.SoakConfig{
+	baseCfg := serve.SoakConfig{
 		Clients:          *clients,
 		Requests:         *requests,
 		Workload:         *workload,
@@ -123,10 +171,72 @@ func main() {
 		Queue:            *queue,
 		Retries:          *retries,
 		BreakerThreshold: *brThreshold,
-		Telemetry:        tel,
-	})
+		Cores:            *cores,
+	}
+
+	if *trafficGate {
+		os.Exit(runTrafficGate(baseCfg, aimd, *asJSON))
+	}
+
+	if *trafficMode != "" {
+		var model traffic.Model
+		switch *trafficMode {
+		case "default":
+			model = traffic.Default(*seed)
+		case "burst":
+			model = traffic.BurstScenario(*seed)
+		default:
+			log.Fatalf("unknown -traffic mode %q (want default or burst)", *trafficMode)
+		}
+		if *trafficHostile {
+			have := map[string]bool{}
+			for _, c := range model.Classes {
+				have[c.Name] = true
+			}
+			for _, c := range traffic.HostileClasses() {
+				if !have[c.Name] {
+					model.Classes = append(model.Classes, c)
+				}
+			}
+		}
+		if *trafficRate > 0 {
+			model.Rate = *trafficRate
+		}
+		if *trafficHorizon > 0 {
+			model.Horizon = *trafficHorizon
+		}
+		if *burstFactor > 0 {
+			for i := range model.Bursts {
+				model.Bursts[i].Factor = *burstFactor
+			}
+		}
+		baseCfg.Traffic = &model
+		if *adaptive {
+			baseCfg.Adaptive = aimd
+		}
+	}
+
+	var tel *telemetry.Set
+	if *telemetryDump != "" {
+		tel = telemetry.New(telemetry.Options{})
+	}
+	baseCfg.Telemetry = tel
+	rep, err := serve.Soak(context.Background(), baseCfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *sloReport != "" {
+		if rep.SLO == nil {
+			log.Fatal("-slo-report needs a traffic-mode run (-traffic)")
+		}
+		out, err := json.MarshalIndent(rep.SLO, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*sloReport, append(out, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *telemetryDump != "" {
@@ -175,4 +285,83 @@ func main() {
 				rep.InFlightAtEnd, rep.Issued-(rep.OK+rep.Detected+rep.Silent+rep.GaveUp))
 		}
 	}
+}
+
+// runTrafficGate runs the canned burst scenario (traffic.BurstScenario
+// with the flags' seed and capacity parameters) twice — static
+// admission, then adaptive — and grades the pair. The overload-control
+// criterion: the static run must demonstrably fail at least one class
+// SLO under the burst, and the adaptive run must pass every one; a
+// burst too weak to hurt the static policy proves nothing, so it also
+// fails the gate. Returns the process exit code.
+func runTrafficGate(base serve.SoakConfig, aimd *resilience.AIMDConfig, asJSON bool) int {
+	run := func(adaptive bool) *serve.SoakReport {
+		cfg := base
+		model := traffic.BurstScenario(base.Seed)
+		cfg.Traffic = &model
+		if adaptive {
+			cfg.Adaptive = aimd
+		}
+		rep, err := serve.Soak(context.Background(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+	static := run(false)
+	adapt := run(true)
+
+	if asJSON {
+		out, err := json.MarshalIndent(map[string]*traffic.SLOReport{
+			"static": static.SLO, "adaptive": adapt.SLO,
+		}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(harness.Soak(static))
+		fmt.Println()
+		fmt.Print(harness.Soak(adapt))
+		fmt.Println()
+	}
+
+	code := 0
+	bad := func(format string, args ...any) {
+		log.Printf("TRAFFIC GATE FAILED: "+format, args...)
+		code = 1
+	}
+	if !static.Graceful() || !adapt.Graceful() {
+		bad("a run was not graceful (static %v, adaptive %v)", static.Graceful(), adapt.Graceful())
+	}
+	if static.SLO == nil || adapt.SLO == nil {
+		bad("missing SLO report")
+		return 1
+	}
+	if static.SLO.Pass {
+		bad("static admission survived the burst — the scenario exercises nothing")
+	}
+	if !adapt.SLO.Pass {
+		var failed []string
+		for _, c := range adapt.SLO.Classes {
+			if !c.Pass {
+				failed = append(failed, fmt.Sprintf("%s (%s)", c.Class, strings.Join(c.Violations, "; ")))
+			}
+		}
+		bad("adaptive admission out of SLO: %s", strings.Join(failed, ", "))
+	}
+	if st := adapt.SLO.Controller; st == nil || st.LimitMax <= base.Workers {
+		bad("adaptive controller never grew the pool — the pass is not its doing")
+	}
+	if code == 0 {
+		var staticFailed []string
+		for _, c := range static.SLO.Classes {
+			if !c.Pass {
+				staticFailed = append(staticFailed, c.Class)
+			}
+		}
+		log.Printf("traffic gate OK: static admission violates SLO for %s under the 10x burst; adaptive (limit %d -> %d) holds every class",
+			strings.Join(staticFailed, ","), base.Workers, adapt.SLO.Controller.LimitMax)
+	}
+	return code
 }

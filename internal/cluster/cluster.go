@@ -158,9 +158,19 @@ func New(cfg Config) (*Cluster, error) {
 			}
 		}
 		c.backends = append(c.backends, b)
+		// The router's load metric, exposed: one gather-time gauge per
+		// backend reading the live admission in-flight count.
+		srv := b.Srv
+		reg.GaugeFuncWith("pacstack_cluster_in_flight", "admitted, unfinished requests per backend",
+			[]string{"backend"}, []string{fmt.Sprint(i)},
+			func() int64 { return int64(srv.InFlight()) })
 	}
 	return c, nil
 }
+
+// loadOf is the router's load metric on the live fleet: admitted,
+// unfinished requests on the backend's server.
+func (c *Cluster) loadOf(i int) int { return c.backends[i].Srv.InFlight() }
 
 // aliveLocked lists the alive backend indices. Callers hold c.mu.
 func (c *Cluster) aliveLocked() []int {
@@ -190,7 +200,7 @@ func (c *Cluster) Do(ctx context.Context, req serve.Request) (*serve.Result, err
 			return br.State(now)
 		}
 		return resilience.BreakerClosed
-	})
+	}, c.loadOf)
 	c.mu.Unlock()
 	if len(order) == 0 {
 		return nil, ErrNoBackend
@@ -260,7 +270,7 @@ func (c *Cluster) Kill(ctx context.Context, idx int) (*MigrationReport, error) {
 			return br.State(now)
 		}
 		return resilience.BreakerClosed
-	})[0]
+	}, c.loadOf)[0]
 	c.mu.Unlock()
 	c.budgetCharges.Inc()
 	c.failovers.Inc()
@@ -289,6 +299,7 @@ type BackendStatus struct {
 	Alive        bool           `json:"alive"`
 	Breaker      string         `json:"breaker"`
 	BreakerOpens uint64         `json:"breaker_opens,omitempty"`
+	InFlight     int            `json:"in_flight"` // the router's load metric
 	Machines     []string       `json:"machines"`
 	Stats        serve.Snapshot `json:"stats"`
 }
@@ -313,10 +324,11 @@ func (c *Cluster) Status() Status {
 	}
 	for i, b := range c.backends {
 		row := BackendStatus{
-			Backend: i,
-			Alive:   b.Alive(),
-			Breaker: resilience.BreakerClosed.String(),
-			Stats:   b.Srv.Stats(),
+			Backend:  i,
+			Alive:    b.Alive(),
+			Breaker:  resilience.BreakerClosed.String(),
+			InFlight: b.Srv.InFlight(),
+			Stats:    b.Srv.Stats(),
 		}
 		if br := b.Breaker; br != nil {
 			row.Breaker = br.State(now).String()

@@ -217,7 +217,7 @@ func TestRouterOrder(t *testing.T) {
 	}
 	stateOf := func(i int) resilience.BreakerState { return states[i] }
 	r := NewRouter(5)
-	order := r.Order(0, []int{0, 1, 2, 3}, stateOf)
+	order := r.Order(0, []int{0, 1, 2, 3}, stateOf, nil)
 	if len(order) != 4 {
 		t.Fatalf("order %v, want 4 entries", order)
 	}
@@ -233,8 +233,8 @@ func TestRouterOrder(t *testing.T) {
 	// Same seed, same decision sequence.
 	a, b := NewRouter(9), NewRouter(9)
 	for i := 0; i < 50; i++ {
-		oa := a.Order(uint64(i), []int{0, 1, 2, 3}, stateOf)
-		ob := b.Order(uint64(i), []int{0, 1, 2, 3}, stateOf)
+		oa := a.Order(uint64(i), []int{0, 1, 2, 3}, stateOf, nil)
+		ob := b.Order(uint64(i), []int{0, 1, 2, 3}, stateOf, nil)
 		for j := range oa {
 			if oa[j] != ob[j] {
 				t.Fatalf("decision %d differs: %v vs %v", i, oa, ob)
@@ -245,7 +245,7 @@ func TestRouterOrder(t *testing.T) {
 	// the top slot at least once.
 	top := map[int]bool{}
 	for i := 0; i < 50; i++ {
-		top[a.Order(uint64(i), []int{1, 3}, stateOf)[0]] = true
+		top[a.Order(uint64(i), []int{1, 3}, stateOf, nil)[0]] = true
 	}
 	if !top[1] || !top[3] {
 		t.Fatalf("rotor pinned one backend: top slots %v", top)
@@ -304,5 +304,123 @@ func TestLiveClusterKillFailover(t *testing.T) {
 	}
 	if _, err := cl.Do(ctx, serve.Request{Workload: "chain", Scheme: "pacstack"}); !errors.Is(err, ErrNoBackend) {
 		t.Fatalf("Do with dead fleet: %v, want ErrNoBackend", err)
+	}
+}
+
+// TestRouterLoadAware: within one breaker-state class the router
+// prefers the least-loaded backend; the rotor only breaks ties among
+// equal loads.
+func TestRouterLoadAware(t *testing.T) {
+	closed := func(int) resilience.BreakerState { return resilience.BreakerClosed }
+	loads := map[int]int{0: 5, 1: 0, 2: 3}
+	r := NewRouter(5)
+	for i := 0; i < 20; i++ {
+		order := r.Order(uint64(i), []int{0, 1, 2}, closed, func(i int) int { return loads[i] })
+		if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+			t.Fatalf("decision %d not load-ordered: %v (loads %v)", i, order, loads)
+		}
+	}
+	// Breaker state still dominates load: a drained closed backend
+	// beats an idle half-open one.
+	states := map[int]resilience.BreakerState{0: resilience.BreakerClosed, 1: resilience.BreakerHalfOpen}
+	order := r.Order(0, []int{0, 1}, func(i int) resilience.BreakerState { return states[i] },
+		func(i int) int { return map[int]int{0: 9, 1: 0}[i] })
+	if order[0] != 0 {
+		t.Fatalf("half-open backend outranked a closed one: %v", order)
+	}
+	// Equal loads fall back to the rotor: both backends reach the top.
+	top := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		top[r.Order(uint64(i), []int{0, 2}, closed, func(int) int { return 1 })[0]] = true
+	}
+	if !top[0] || !top[2] {
+		t.Fatalf("rotor pinned one equally-loaded backend: %v", top)
+	}
+}
+
+// TestClusterSoakCascadingKills: two backends die at different virtual
+// instants with budget for both. Each absorbed kill charges the budget
+// once, ships its own migration, and replays its own orphans exactly
+// once; requests orphaned twice (replayed onto a backend that then
+// also died) replay once per failover without tripping the violation
+// counter.
+func TestClusterSoakCascadingKills(t *testing.T) {
+	cfg := SoakConfig{
+		Backends: 3, Clients: 6, Requests: 10, Seed: 11,
+		ChaosRate: 0.1, Heal: 1, FailoverBudget: 2,
+		Kills: []KillSpec{{At: 40_000, Backend: -1}, {At: 60_000, Backend: -1}},
+	}
+	rep, err := Soak(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(rep.Kills) != 2 {
+		t.Fatalf("executed %d kills, want 2: %+v", len(rep.Kills), rep.Kills)
+	}
+	if rep.Kills[0].Backend == rep.Kills[1].Backend {
+		t.Fatalf("both kills hit backend %d", rep.Kills[0].Backend)
+	}
+	for i, k := range rep.Kills {
+		if !k.Absorbed {
+			t.Fatalf("kill %d not absorbed with budget to spare: %+v", i, k)
+		}
+		if k.Replayed != k.Orphans {
+			t.Fatalf("kill %d replayed %d of %d orphans", i, k.Replayed, k.Orphans)
+		}
+	}
+	if rep.BudgetCharged != 2 {
+		t.Fatalf("budget charged %d times for 2 absorbed kills", rep.BudgetCharged)
+	}
+	if len(rep.Migrations) != 2 || rep.Migration != rep.Migrations[0] {
+		t.Fatalf("want 2 migration reports with the first aliased: %d", len(rep.Migrations))
+	}
+	if rep.ReplayViolations != 0 {
+		t.Fatalf("%d replay violations", rep.ReplayViolations)
+	}
+	alive := 0
+	for _, row := range rep.PerBackend {
+		if row.Alive {
+			alive++
+		}
+	}
+	if alive != 1 {
+		t.Fatalf("%d backends alive after 2 kills of 3", alive)
+	}
+}
+
+// TestClusterSoakCascadeBeyondBudget: the second kill exceeds a budget
+// of one — its orphans are abandoned loudly (gave-up, never silent)
+// and the accounting still closes.
+func TestClusterSoakCascadeBeyondBudget(t *testing.T) {
+	cfg := SoakConfig{
+		Backends: 3, Clients: 6, Requests: 10, Seed: 11,
+		ChaosRate: 0.1, Heal: 1, FailoverBudget: 1,
+		Kills: []KillSpec{{At: 40_000, Backend: -1}, {At: 60_000, Backend: -1}},
+	}
+	rep, err := Soak(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(rep.Kills) != 2 || !rep.Kills[0].Absorbed || rep.Kills[1].Absorbed {
+		t.Fatalf("want first kill absorbed, second not: %+v", rep.Kills)
+	}
+	if rep.BudgetCharged != 1 {
+		t.Fatalf("budget charged %d times, want 1", rep.BudgetCharged)
+	}
+	k2 := rep.Kills[1]
+	if k2.Abandoned != k2.Orphans {
+		t.Fatalf("unabsorbed kill abandoned %d of %d orphans", k2.Abandoned, k2.Orphans)
+	}
+	if rep.Silent != 0 {
+		t.Fatalf("%d silent outcomes", rep.Silent)
+	}
+	if len(rep.Migrations) != 1 {
+		t.Fatalf("%d migrations for 1 absorbed kill", len(rep.Migrations))
 	}
 }

@@ -86,9 +86,17 @@ type SoakConfig struct {
 	// KillAt, when non-zero, kills one backend at that virtual instant:
 	// the kill-a-backend-mid-soak scenario. KillBackend names the
 	// victim; any negative value draws it from the seed (0 means
-	// backend 0).
+	// backend 0). For cascading multi-kill scenarios use Kills; a
+	// non-zero KillAt is folded in as one more entry.
 	KillAt      uint64
 	KillBackend int
+
+	// Kills schedules any number of backend deaths at distinct virtual
+	// instants — the cascading-failure scenario. Each absorbed kill
+	// charges the failover budget once; kills beyond the budget (or
+	// with no survivor left) abandon their orphans loudly (gave-up,
+	// never silent). A kill whose victim is already dead is a no-op.
+	Kills []KillSpec
 
 	// MigrateLatency is the virtual-time cost of shipping the dead
 	// backend's snapshots and replaying its orphaned requests on the
@@ -170,6 +178,26 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	return c
 }
 
+// KillSpec schedules one backend death in the soak.
+type KillSpec struct {
+	// At is the virtual instant of the death (must be non-zero).
+	At uint64 `json:"at"`
+	// Backend names the victim; negative draws one of the then-alive
+	// backends from the seed.
+	Backend int `json:"backend"`
+}
+
+// KillRow is one executed kill's accounting in the report.
+type KillRow struct {
+	At        uint64 `json:"at"`
+	Backend   int    `json:"backend"`
+	Absorbed  bool   `json:"absorbed"` // budget charged, machines migrated, orphans replayed
+	Survivor  int    `json:"survivor"` // -1 when not absorbed
+	Orphans   int    `json:"orphans"`
+	Replayed  int    `json:"replayed"`
+	Abandoned int    `json:"abandoned"`
+}
+
 // BackendRow is the per-backend breakdown: what the router sent it,
 // what came back, and its failover traffic.
 type BackendRow struct {
@@ -202,7 +230,13 @@ type ClusterReport struct {
 	Heal      int      `json:"heal"`
 
 	KillAt        uint64 `json:"kill_at,omitempty"`
-	KilledBackend int    `json:"killed_backend"` // -1: nothing died
+	KilledBackend int    `json:"killed_backend"` // -1: nothing died (multi-kill: the last victim)
+
+	// Kills is every executed kill in virtual-time order; Migrations
+	// collects the absorbed kills' migration reports in the same order
+	// (Migration keeps pointing at the first for compatibility).
+	Kills      []KillRow          `json:"kills,omitempty"`
+	Migrations []*MigrationReport `json:"migrations,omitempty"`
 
 	Issued   int `json:"issued"`
 	OK       int `json:"ok"`
@@ -271,8 +305,24 @@ func (r *ClusterReport) Check() error {
 	if r.ReplayViolations > 0 {
 		return fmt.Errorf("cluster: %d request(s) replayed more than once", r.ReplayViolations)
 	}
-	if r.KilledBackend >= 0 && r.Abandoned == 0 && r.BudgetCharged != 1 {
-		return fmt.Errorf("cluster: one backend killed but budget charged %d time(s), want 1", r.BudgetCharged)
+	absorbed := 0
+	for _, k := range r.Kills {
+		if k.Absorbed {
+			absorbed++
+			if k.Replayed != k.Orphans {
+				return fmt.Errorf("cluster: kill of backend %d absorbed but replayed %d of %d orphan(s)",
+					k.Backend, k.Replayed, k.Orphans)
+			}
+		} else if k.Abandoned != k.Orphans {
+			return fmt.Errorf("cluster: kill of backend %d unabsorbed but abandoned %d of %d orphan(s)",
+				k.Backend, k.Abandoned, k.Orphans)
+		}
+	}
+	if r.BudgetCharged != absorbed {
+		return fmt.Errorf("cluster: %d absorbed kill(s) but budget charged %d time(s)", absorbed, r.BudgetCharged)
+	}
+	if r.KilledBackend >= 0 && len(r.Kills) == 0 {
+		return fmt.Errorf("cluster: backend %d killed but no kill accounting", r.KilledBackend)
 	}
 	return nil
 }
@@ -355,9 +405,21 @@ func Soak(ctx context.Context, cfg SoakConfig) (*ClusterReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.KillBackend >= cfg.Backends {
-		return nil, fmt.Errorf("cluster: kill backend %d out of range (fleet of %d)", cfg.KillBackend, cfg.Backends)
+	// Fold the legacy single-kill knobs into the kill schedule and
+	// validate it.
+	kills := append([]KillSpec(nil), cfg.Kills...)
+	if cfg.KillAt > 0 {
+		kills = append(kills, KillSpec{At: cfg.KillAt, Backend: cfg.KillBackend})
 	}
+	for _, k := range kills {
+		if k.At == 0 {
+			return nil, fmt.Errorf("cluster: kill at virtual instant 0")
+		}
+		if k.Backend >= cfg.Backends {
+			return nil, fmt.Errorf("cluster: kill backend %d out of range (fleet of %d)", k.Backend, cfg.Backends)
+		}
+	}
+	sort.SliceStable(kills, func(i, j int) bool { return kills[i].At < kills[j].At })
 
 	// Virtual-time telemetry, exactly as in serve.Soak: phase 1 only
 	// adds counters (commutative); every event records from the serial
@@ -536,6 +598,12 @@ func Soak(ctx context.Context, cfg SoakConfig) (*ClusterReport, error) {
 		}
 		return resilience.BreakerClosed
 	}
+	// The router's load metric in the DES: a backend's executing plus
+	// queued requests.
+	loadOf := func(idx int) int {
+		d := backends[idx]
+		return d.busy + len(d.fifo)
+	}
 
 	startService := func(bk, id int) {
 		d := backends[bk]
@@ -615,7 +683,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (*ClusterReport, error) {
 		var groupOrder []int
 		for _, e := range batch {
 			id := e.client*cfg.Requests + e.req
-			order := router.Order(now, alive, stateOf)
+			order := router.Order(now, alive, stateOf, loadOf)
 			if len(order) == 0 {
 				// No fleet left: the request can never execute.
 				retryOrGiveUp(e.client, e.req, cfg.Retries)
@@ -667,12 +735,21 @@ func Soak(ctx context.Context, cfg SoakConfig) (*ClusterReport, error) {
 		}
 	}
 
-	// kill executes the kill-a-backend-mid-soak scenario at `now`.
+	// kill executes one scheduled backend death at `now`. Each absorbed
+	// kill charges the budget once; a kill past the budget (or with no
+	// survivor) abandons its orphans loudly. Re-orphaning is legal — a
+	// request replayed after one kill can land on a backend the next
+	// kill takes down, and it replays again — but within one kill every
+	// orphan replays exactly once.
 	killRNG := rand.New(rand.NewSource(mix(cfg.Seed, 0xdead)))
-	kill := func() error {
-		kb := cfg.KillBackend
+	kill := func(spec KillSpec) error {
+		kb := spec.Backend
 		if kb < 0 {
-			kb = killRNG.Intn(cfg.Backends)
+			alive := aliveList()
+			if len(alive) == 0 {
+				return nil
+			}
+			kb = alive[killRNG.Intn(len(alive))]
 		}
 		d := backends[kb]
 		if !d.row.Alive {
@@ -681,6 +758,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (*ClusterReport, error) {
 		d.row.Alive = false
 		d.b.Kill()
 		rep.KilledBackend = kb
+		krow := KillRow{At: now, Backend: kb, Survivor: -1}
 		tlog.Record(telemetry.EvKill, fmt.Sprintf("backend-%d", kb), "killed mid-soak", now)
 
 		// Orphans: executing requests (their pending evDone is voided by
@@ -698,6 +776,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (*ClusterReport, error) {
 		orphans = append(orphans, d.fifo...)
 		d.busy = 0
 		d.fifo = nil
+		krow.Orphans = len(orphans)
 
 		alive := aliveList()
 		if rep.BudgetCharged >= cfg.FailoverBudget || len(alive) == 0 {
@@ -705,23 +784,30 @@ func Soak(ctx context.Context, cfg SoakConfig) (*ClusterReport, error) {
 			for _, id := range orphans {
 				abandon(id)
 			}
+			krow.Abandoned = len(orphans)
+			rep.Kills = append(rep.Kills, krow)
 			return nil
 		}
 		rep.BudgetCharged++
 		budgetCharges.Inc()
 		failovers.Inc()
+		krow.Absorbed = true
 
 		// Snapshot shipping: the dead backend's machines move to the
 		// best survivor the router can name, with re-seeded keys.
-		survivor := router.Order(now, alive, stateOf)[0]
+		survivor := router.Order(now, alive, stateOf, loadOf)[0]
+		krow.Survivor = survivor
 		mig, err := MigrateMachines(d.b, backends[survivor].b)
 		if err != nil {
 			return err
 		}
-		rep.Migration = mig
+		if rep.Migration == nil {
+			rep.Migration = mig
+		}
+		rep.Migrations = append(rep.Migrations, mig)
 		rep.SharedKeyViolations += mig.SharedKeyViolations
-		d.row.MigratedOut = len(mig.Machines)
-		backends[survivor].row.MigratedIn = len(mig.Machines)
+		d.row.MigratedOut += len(mig.Machines)
+		backends[survivor].row.MigratedIn += len(mig.Machines)
 		migrateBytes.Add(uint64(mig.Bytes))
 		for _, mm := range mig.Machines {
 			migrationsVec.With(fmt.Sprint(kb), "out").Inc()
@@ -732,30 +818,35 @@ func Soak(ctx context.Context, cfg SoakConfig) (*ClusterReport, error) {
 		tlog.Record(telemetry.EvFailover, fmt.Sprintf("backend-%d", kb),
 			fmt.Sprintf("survivor backend-%d, %d machine(s), %d orphan(s)", survivor, len(mig.Machines), len(orphans)), now)
 
-		// Exactly-once replay: every orphan is re-issued on the
-		// survivors after the migration latency. The request's outcome
-		// (and so its heal attempts) was precomputed once and will be
-		// charged once, at its single terminal evDone — a failover hop
-		// never multiplies the supervise restart budget.
+		// Exactly-once replay per failover: every orphan of THIS kill is
+		// re-issued on the survivors after the migration latency. The
+		// request's outcome (and so its heal attempts) was precomputed
+		// once and will be charged once, at its single terminal evDone —
+		// a failover hop never multiplies the supervise restart budget.
+		seen := make(map[int]bool, len(orphans))
 		for _, id := range orphans {
-			if replayed[id] {
+			if seen[id] {
 				rep.ReplayViolations++
 				continue
 			}
+			seen[id] = true
 			replayed[id] = true
 			rep.Replayed++
+			krow.Replayed++
 			push(event{at: now + cfg.MigrateLatency, kind: evIssue, client: id / cfg.Requests, req: id % cfg.Requests})
 		}
+		rep.Kills = append(rep.Kills, krow)
 		return nil
 	}
 
 	// Start: every client issues its first request after one think; the
-	// kill (if any) is a first-class event in the same heap.
+	// kills (if any) are first-class events in the same heap, their
+	// schedule index carried in the req field.
 	for c := 0; c < cfg.Clients; c++ {
 		push(event{at: think(c), kind: evIssue, client: c, req: 0})
 	}
-	if cfg.KillAt > 0 {
-		push(event{at: cfg.KillAt, kind: evKill})
+	for i, k := range kills {
+		push(event{at: k.At, kind: evKill, req: i})
 	}
 
 	for h.Len() > 0 {
@@ -825,7 +916,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (*ClusterReport, error) {
 			}
 			terminal(e.client, e.req)
 		case evKill:
-			if err := kill(); err != nil {
+			if err := kill(kills[e.req]); err != nil {
 				return nil, err
 			}
 		}

@@ -16,12 +16,18 @@ func ClusterSoak(r *cluster.ClusterReport) string {
 	b.WriteString("Cluster soak: seeded virtual-time traffic against a multi-backend fleet (internal/cluster)\n")
 	fmt.Fprintf(&b, "seed %d | workload %s | schemes %s | %d backends | %d clients x %d requests | chaos %.1f%% | heal %d\n",
 		r.Seed, r.Workload, strings.Join(r.Schemes, ","), r.Backends, r.Clients, r.PerClient, 100*r.ChaosRate, r.Heal)
-	if r.KillAt > 0 {
-		if r.KilledBackend >= 0 {
-			fmt.Fprintf(&b, "kill: backend %d at virtual cycle %d\n", r.KilledBackend, r.KillAt)
-		} else {
-			fmt.Fprintf(&b, "kill: scheduled at virtual cycle %d (never fired)\n", r.KillAt)
+	switch {
+	case len(r.Kills) > 0:
+		for _, k := range r.Kills {
+			absorbed := "absorbed"
+			if !k.Absorbed {
+				absorbed = "NOT absorbed (budget exhausted)"
+			}
+			fmt.Fprintf(&b, "kill: backend %d at virtual cycle %d — %s | survivor %d | orphans %d | replayed %d | abandoned %d\n",
+				k.Backend, k.At, absorbed, k.Survivor, k.Orphans, k.Replayed, k.Abandoned)
 		}
+	case r.KillAt > 0:
+		fmt.Fprintf(&b, "kill: scheduled at virtual cycle %d (never fired)\n", r.KillAt)
 	}
 
 	fmt.Fprintf(&b, "\n%-10s %8s %8s %8s %8s %8s %8s %8s %8s %7s %7s %6s\n",
@@ -62,7 +68,11 @@ func ClusterSoak(r *cluster.ClusterReport) string {
 	if r.KilledBackend >= 0 {
 		fmt.Fprintf(&b, "\nfailover: orphans %d executing + %d queued | replayed %d | abandoned %d | budget charged %d\n",
 			r.OrphansExecuting, r.OrphansQueued, r.Replayed, r.Abandoned, r.BudgetCharged)
-		if m := r.Migration; m != nil {
+		migs := r.Migrations
+		if len(migs) == 0 && r.Migration != nil {
+			migs = append(migs, r.Migration)
+		}
+		for _, m := range migs {
 			fmt.Fprintf(&b, "migration: %d machine(s) backend %d -> %d, %d bytes shipped, shared-key violations %d\n",
 				len(m.Machines), m.From, m.To, m.Bytes, m.SharedKeyViolations)
 			for _, mm := range m.Machines {

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"pacstack/internal/traffic"
+)
+
+// SLO renders a per-class SLO evaluation (internal/traffic.SLOReport)
+// as the deterministic table pacstack-soak appends in traffic mode.
+// Like the other renderers it is a pure function of the report, so
+// byte-identical reports render byte-identically.
+func SLO(r *traffic.SLOReport) string {
+	if r == nil {
+		return ""
+	}
+	mode := "static"
+	if r.Adaptive {
+		mode = "adaptive"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nSLO evaluation (%s admission)\n", mode)
+	fmt.Fprintf(&b, "%-8s %8s %6s %6s %6s %6s %6s %9s %9s %6s %6s  %s\n",
+		"class", "arrivals", "ok", "err", "shed", "retry", "silent", "p50", "p99", "shed%.", "err%.", "status")
+	for _, c := range r.Classes {
+		status := "pass"
+		if !c.Pass {
+			status = "FAIL: " + strings.Join(c.Violations, ", ")
+		}
+		fmt.Fprintf(&b, "%-8s %8d %6d %6d %6d %6d %6d %9d %9d %6d %6d  %s\n",
+			c.Class, c.Arrivals, c.OK, c.Detected+c.Silent+c.GaveUp, c.Sheds, c.Retries, c.Silent,
+			c.P50, c.P99, c.ShedPermille, c.ErrorPermille, status)
+	}
+	if st := r.Controller; st != nil {
+		fmt.Fprintf(&b, "controller: limit %d (window %d..%d) | %d increase(s), %d decrease(s)\n",
+			st.Limit, st.LimitMin, st.LimitMax, st.Increases, st.Decreases)
+	}
+	if r.Pass {
+		b.WriteString("SLO: PASS — every class within its objectives\n")
+	} else {
+		var failed []string
+		for _, c := range r.Classes {
+			if !c.Pass {
+				failed = append(failed, c.Class)
+			}
+		}
+		fmt.Fprintf(&b, "SLO: FAIL — %s out of budget\n", strings.Join(failed, ", "))
+	}
+	return b.String()
+}

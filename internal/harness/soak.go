@@ -13,9 +13,15 @@ import (
 // byte-identically — check.sh diffs two runs of this output.
 func Soak(r *serve.SoakReport) string {
 	var b strings.Builder
-	b.WriteString("Chaos soak: seeded virtual-time traffic against the serving layer (internal/serve)\n")
-	fmt.Fprintf(&b, "seed %d | workload %s | schemes %s | %d clients x %d requests | chaos %.1f%% | heal %d\n",
-		r.Seed, r.Workload, strings.Join(r.Schemes, ","), r.Clients, r.PerClient, 100*r.ChaosRate, r.Heal)
+	if r.Traffic {
+		b.WriteString("Traffic soak: seeded open-loop heavy-tail replay against the serving layer (internal/serve + internal/traffic)\n")
+		fmt.Fprintf(&b, "seed %d | schemes %s | %d arrivals | chaos %.1f%% | heal %d\n",
+			r.Seed, strings.Join(r.Schemes, ","), r.Issued, 100*r.ChaosRate, r.Heal)
+	} else {
+		b.WriteString("Chaos soak: seeded virtual-time traffic against the serving layer (internal/serve)\n")
+		fmt.Fprintf(&b, "seed %d | workload %s | schemes %s | %d clients x %d requests | chaos %.1f%% | heal %d\n",
+			r.Seed, r.Workload, strings.Join(r.Schemes, ","), r.Clients, r.PerClient, 100*r.ChaosRate, r.Heal)
+	}
 
 	fmt.Fprintf(&b, "\n%-26s %9s %8s %8s %8s %8s %8s\n",
 		"scheme", "requests", "ok", "healed", "detected", "silent", "gave-up")
@@ -55,5 +61,6 @@ func Soak(r *serve.SoakReport) string {
 		fmt.Fprintf(&b, "NOT GRACEFUL: ok+detected+silent+gave-up = %d of %d issued, %d in flight\n",
 			r.OK+r.Detected+r.Silent+r.GaveUp, r.Issued, r.InFlightAtEnd)
 	}
+	b.WriteString(SLO(r.SLO))
 	return b.String()
 }

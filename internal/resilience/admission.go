@@ -7,23 +7,38 @@ import (
 )
 
 // Admission is the bounded front door of a worker pool: at most
-// `workers` requests execute at once, at most `queue` more wait, and
+// Limit() requests execute at once, at most `queue` more wait, and
 // everything beyond that is shed immediately (ErrShed — the HTTP layer
 // turns it into a 429). Close flips the door shut for graceful drain:
 // new arrivals get ErrDraining, waiters are rejected, and Drain blocks
 // until every admitted request has released its slot — the "no
 // in-flight request lost" half of a clean shutdown.
+//
+// The limit is dynamic: SetLimit resizes the pool mid-flight, which is
+// the hook an adaptive overload controller (see AIMD) needs. Growing
+// the limit wakes queued waiters immediately; shrinking it never
+// cancels already-admitted work — the pool just stops admitting until
+// enough releases bring it under the new limit.
 type Admission struct {
-	workers int
-	queue   int64
+	mu      sync.Mutex
+	limit   int       // worker slots (dynamic)
+	queue   int       // max queued waiters (static)
+	active  int       // admitted, not yet released
+	waiters []*waiter // FIFO; grant order is arrival order
 
-	slots   chan struct{} // counting semaphore: send = acquire
-	waiting atomic.Int64
-	sheds   atomic.Uint64
-	active  atomic.Int64
+	closed    bool
+	sheds     atomic.Uint64
+	drainOnce sync.Once
+	drained   chan struct{} // closed when closed && active == 0
+}
 
-	closeOnce sync.Once
-	closed    chan struct{}
+// waiter is one goroutine blocked in Acquire. Exactly one of the
+// outcomes is published under the mutex before done is closed:
+// granted (err == nil) or rejected (err != nil).
+type waiter struct {
+	done    chan struct{}
+	granted bool
+	err     error
 }
 
 // NewAdmission returns an admission gate for a pool of the given
@@ -37,10 +52,9 @@ func NewAdmission(workers, queue int) *Admission {
 		queue = 0
 	}
 	return &Admission{
-		workers: workers,
-		queue:   int64(queue),
-		slots:   make(chan struct{}, workers),
-		closed:  make(chan struct{}),
+		limit:   workers,
+		queue:   queue,
+		drained: make(chan struct{}),
 	}
 }
 
@@ -49,49 +63,118 @@ func NewAdmission(workers, queue int) *Admission {
 // returns ErrShed when the queue is full, ErrDraining once Close has
 // been called, and ctx.Err() if the caller's deadline expires while
 // queued. A nil return must be paired with exactly one Release.
+//
+// The uncontended path (free slot) takes one mutex and allocates
+// nothing; only a request that actually queues pays for a waiter.
 func (a *Admission) Acquire(ctx context.Context) error {
-	select {
-	case <-a.closed:
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
 		return ErrDraining
-	default:
 	}
-	// Fast path: free worker slot.
-	select {
-	case a.slots <- struct{}{}:
-		a.active.Add(1)
+	if a.active < a.limit {
+		a.active++
+		a.mu.Unlock()
 		return nil
-	default:
 	}
-	// Queue, bounded: the number of goroutines blocked below is the
-	// queue occupancy.
-	if a.waiting.Add(1) > a.queue {
-		a.waiting.Add(-1)
+	if len(a.waiters) >= a.queue {
+		a.mu.Unlock()
 		a.sheds.Add(1)
 		return ErrShed
 	}
-	defer a.waiting.Add(-1)
+	w := &waiter{done: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
 	select {
-	case a.slots <- struct{}{}:
-		a.active.Add(1)
-		return nil
+	case <-w.done:
+		return w.err
 	case <-ctx.Done():
+		a.mu.Lock()
+		switch {
+		case w.granted:
+			// Lost the race: the grant landed just as the deadline
+			// fired. The slot is ours, so hand it straight on.
+			a.releaseLocked()
+		case w.err == nil:
+			// Still queued: withdraw.
+			for i, q := range a.waiters {
+				if q == w {
+					a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+		a.mu.Unlock()
 		return ctx.Err()
-	case <-a.closed:
-		return ErrDraining
 	}
 }
 
 // Release frees the slot of one admitted request.
 func (a *Admission) Release() {
-	a.active.Add(-1)
-	<-a.slots
+	a.mu.Lock()
+	a.releaseLocked()
+	a.mu.Unlock()
+}
+
+func (a *Admission) releaseLocked() {
+	a.active--
+	if a.closed {
+		if a.active == 0 {
+			a.drainOnce.Do(func() { close(a.drained) })
+		}
+		return
+	}
+	a.grantLocked()
+}
+
+// grantLocked hands free slots to queued waiters in FIFO order.
+func (a *Admission) grantLocked() {
+	for a.active < a.limit && len(a.waiters) > 0 {
+		w := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		w.granted = true
+		a.active++
+		close(w.done)
+	}
+}
+
+// SetLimit resizes the worker pool mid-flight (clamped to >= 1).
+// Growing wakes queued waiters at once; shrinking never cancels
+// admitted work — active stays above the new limit until enough
+// Releases catch up, and no new admissions happen meanwhile.
+func (a *Admission) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	a.mu.Lock()
+	a.limit = n
+	if !a.closed {
+		a.grantLocked()
+	}
+	a.mu.Unlock()
+}
+
+// Limit returns the current worker limit.
+func (a *Admission) Limit() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit
 }
 
 // InFlight returns how many admitted requests have not yet released.
-func (a *Admission) InFlight() int { return int(a.active.Load()) }
+func (a *Admission) InFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active
+}
 
 // Queued returns the current queue occupancy.
-func (a *Admission) Queued() int { return int(a.waiting.Load()) }
+func (a *Admission) Queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.waiters)
+}
 
 // Sheds returns how many requests have been load-shed.
 func (a *Admission) Sheds() uint64 { return a.sheds.Load() }
@@ -99,17 +182,26 @@ func (a *Admission) Sheds() uint64 { return a.sheds.Load() }
 // Close stops admitting: subsequent Acquires (and queued waiters)
 // fail with ErrDraining. Admitted requests are unaffected.
 func (a *Admission) Close() {
-	a.closeOnce.Do(func() { close(a.closed) })
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		for _, w := range a.waiters {
+			w.err = ErrDraining
+			close(w.done)
+		}
+		a.waiters = nil
+		if a.active == 0 {
+			a.drainOnce.Do(func() { close(a.drained) })
+		}
+	}
+	a.mu.Unlock()
 }
 
 // Closing reports whether Close has been called.
 func (a *Admission) Closing() bool {
-	select {
-	case <-a.closed:
-		return true
-	default:
-		return false
-	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closed
 }
 
 // Drain closes admission and blocks until every in-flight request has
@@ -117,19 +209,10 @@ func (a *Admission) Closing() bool {
 // the shutdown path while handlers are still running.
 func (a *Admission) Drain(ctx context.Context) error {
 	a.Close()
-	for i := 0; i < a.workers; i++ {
-		select {
-		case a.slots <- struct{}{}:
-		case <-ctx.Done():
-			// Give back what we took so a later Drain can retry.
-			for ; i > 0; i-- {
-				<-a.slots
-			}
-			return ctx.Err()
-		}
+	select {
+	case <-a.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
-	for i := 0; i < a.workers; i++ {
-		<-a.slots
-	}
-	return nil
 }

@@ -208,3 +208,159 @@ func TestRetryHonoursContext(t *testing.T) {
 		t.Fatalf("attempts=%d err=%v, want 1/context.Canceled", attempts, err)
 	}
 }
+
+func TestAdmissionSetLimitGrowWakesWaiters(t *testing.T) {
+	a := NewAdmission(1, 4)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	granted := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { granted <- a.Acquire(context.Background()) }()
+	}
+	for a.Queued() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	// Growing the limit must admit both waiters without any Release.
+	a.SetLimit(3)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-granted:
+			if err != nil {
+				t.Fatalf("waiter after SetLimit: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("waiter not woken by SetLimit grow")
+		}
+	}
+	if got := a.InFlight(); got != 3 {
+		t.Fatalf("inflight = %d, want 3", got)
+	}
+	if got := a.Limit(); got != 3 {
+		t.Fatalf("limit = %d, want 3", got)
+	}
+}
+
+func TestAdmissionSetLimitShrinkNeverCancels(t *testing.T) {
+	a := NewAdmission(3, 2)
+	for i := 0; i < 3; i++ {
+		if err := a.Acquire(context.Background()); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	// Shrinking below the admitted count cancels nothing.
+	a.SetLimit(1)
+	if got := a.InFlight(); got != 3 {
+		t.Fatalf("inflight after shrink = %d, want 3 (shrink cancelled work)", got)
+	}
+	// A new arrival queues (pool over limit) rather than being admitted.
+	queued := make(chan error, 1)
+	go func() { queued <- a.Acquire(context.Background()) }()
+	for a.Queued() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	// One release still leaves active (2) above the limit (1): no grant.
+	a.Release()
+	time.Sleep(5 * time.Millisecond)
+	if a.Queued() != 1 {
+		t.Fatal("waiter admitted while pool still over the shrunk limit")
+	}
+	a.Release()
+	a.Release() // active 0 < limit 1: waiter admitted
+	select {
+	case err := <-queued:
+		if err != nil {
+			t.Fatalf("waiter after releases: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never admitted after pool drained under the limit")
+	}
+	a.Release()
+}
+
+func TestAdmissionAcquireIsFIFO(t *testing.T) {
+	a := NewAdmission(1, 8)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	const n = 4
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		for a.Queued() != i { // enqueue one at a time to pin arrival order
+			time.Sleep(time.Millisecond)
+		}
+		go func() {
+			if err := a.Acquire(context.Background()); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			order <- i
+			a.Release()
+		}()
+	}
+	for a.Queued() != n {
+		time.Sleep(time.Millisecond)
+	}
+	a.Release()
+	for want := 0; want < n; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("grant order: got waiter %d, want %d", got, want)
+		}
+	}
+}
+
+func TestAIMDMonotoneUnderStepLoad(t *testing.T) {
+	// Step up: a saturated pool with healthy latency must probe upward
+	// monotonically until it hits Max.
+	c := NewAIMD(AIMDConfig{Start: 4, Min: 2, Max: 16, LatencyTarget: 1000})
+	prev := c.Limit()
+	for i := 0; i < 40; i++ {
+		c.ObserveBusy(prev)   // pool at the limit
+		c.ObserveLatency(500) // under target
+		got := c.Tick()
+		if got < prev {
+			t.Fatalf("tick %d: limit decreased %d -> %d under healthy saturated load", i, prev, got)
+		}
+		prev = got
+	}
+	if prev != 16 {
+		t.Fatalf("limit after sustained saturation = %d, want Max 16", prev)
+	}
+
+	// Step down: sustained congestion must back off monotonically to Min.
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 10; j++ {
+			c.ObserveLatency(5000) // every sample over target
+		}
+		got := c.Tick()
+		if got > prev {
+			t.Fatalf("tick %d: limit increased %d -> %d under congestion", i, prev, got)
+		}
+		prev = got
+	}
+	if prev != 2 {
+		t.Fatalf("limit after sustained congestion = %d, want Min 2", prev)
+	}
+	st := c.Stats()
+	if st.Increases == 0 || st.Decreases == 0 || st.LimitMax != 16 || st.LimitMin != 2 || st.Limit != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAIMDIdleHoldsAndOutliersTolerated(t *testing.T) {
+	c := NewAIMD(AIMDConfig{Start: 8, Min: 1, Max: 32, LatencyTarget: 1000})
+	// Idle window: no samples, no saturation — hold, don't probe to Max.
+	if got := c.Tick(); got != 8 {
+		t.Fatalf("idle tick moved limit to %d", got)
+	}
+	// One heavy-tail outlier among many healthy samples must not halve
+	// the pool (congestion is fraction-based, default >10%).
+	c.ObserveBusy(8)
+	c.ObserveLatency(1 << 40)
+	for i := 0; i < 20; i++ {
+		c.ObserveLatency(100)
+	}
+	if got := c.Tick(); got < 8 {
+		t.Fatalf("single outlier shrank limit to %d", got)
+	}
+}

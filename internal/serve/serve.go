@@ -359,15 +359,19 @@ func (s *Server) program(name string) (*ir.Program, error) {
 
 // ResolveProgram resolves a workload name against extra named programs
 // (checked first; may be nil) and then the built-in catalog — "" or
-// "chain" is the fault-campaign chain program, the rest is the
-// SPEC-shaped suite. The cluster layer resolves through here so every
-// tier accepts exactly the same workload names.
+// "chain" is the fault-campaign chain program, "nginx" the simulated
+// per-connection TLS handshake, the rest is the SPEC-shaped suite.
+// The cluster layer resolves through here so every tier accepts
+// exactly the same workload names.
 func ResolveProgram(name string, extra map[string]*ir.Program) (*ir.Program, error) {
 	if p, ok := extra[name]; ok {
 		return p, nil
 	}
 	if name == "" || name == "chain" {
 		return fault.DefaultProgram(), nil
+	}
+	if name == "nginx" {
+		return workload.NginxProgram(), nil
 	}
 	cm := cpu.DefaultCostModel()
 	for _, b := range workload.SPEC {
@@ -380,7 +384,7 @@ func ResolveProgram(name string, extra map[string]*ir.Program) (*ir.Program, err
 
 // Workloads lists the names the server accepts, sorted.
 func (s *Server) Workloads() []string {
-	names := []string{"chain"}
+	names := []string{"chain", "nginx"}
 	for _, b := range workload.SPEC {
 		names = append(names, b.Name)
 	}

@@ -31,6 +31,7 @@ import (
 	"pacstack/internal/par"
 	"pacstack/internal/resilience"
 	"pacstack/internal/telemetry"
+	"pacstack/internal/traffic"
 )
 
 // SoakConfig parameterises a soak run. Time-valued knobs are in
@@ -95,6 +96,29 @@ type SoakConfig struct {
 	// while every event is recorded from the serial virtual-time
 	// replay. The gate's double-run cmp rests on this.
 	Telemetry *telemetry.Set
+
+	// Traffic switches the soak into open-loop mode: instead of
+	// Clients x Requests closed-loop clients, the model generates the
+	// arrival stream (diurnal curve, bursts, heavy-tail class mixture,
+	// slow clients, poison requests) and the report gains a per-class
+	// SLO evaluation. Clients/Requests/Workload/Schemes/Think are
+	// ignored in this mode; everything else applies as usual.
+	Traffic *traffic.Model
+
+	// Cores models the host's physical parallelism in traffic mode:
+	// service time is stretched by ceil(busy/Cores), so growing the
+	// worker pool past Cores trades queueing delay for service-time
+	// dilation instead of adding free capacity. Default: Workers.
+	Cores int
+
+	// Adaptive, when non-nil, replaces the static Workers/Queue limits
+	// in traffic mode with an AIMD controller that ticks every
+	// Interval virtual cycles and resizes the worker limit (queue
+	// follows at 2x the limit). The controller's congestion signal is
+	// service-time dilation, not end-to-end latency (see traffic.go).
+	// Zero fields default to: Start = Workers, Interval = 10_000,
+	// LatencyTarget = 1_048_576.
+	Adaptive *resilience.AIMDConfig
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -209,6 +233,11 @@ type SoakReport struct {
 
 	VirtualCycles uint64 `json:"virtual_cycles"`
 	InFlightAtEnd int    `json:"in_flight_at_end"`
+
+	// Traffic marks an open-loop run; SLO is its per-class evaluation
+	// (nil for closed-loop runs).
+	Traffic bool               `json:"traffic,omitempty"`
+	SLO     *traffic.SLOReport `json:"slo,omitempty"`
 }
 
 // Graceful reports whether the run ended cleanly: every issued request
@@ -241,6 +270,7 @@ const (
 const (
 	evIssue = iota // client (re)submits a request
 	evDone         // a worker finishes an execution
+	evTick         // the adaptive controller's window boundary (traffic mode)
 )
 
 type event struct {
@@ -275,6 +305,10 @@ func (h *eventHeap) Pop() any {
 // phase; the serial replay is fast and not cancellable.
 func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	cfg = cfg.withDefaults()
+
+	if cfg.Traffic != nil {
+		return soakTraffic(ctx, cfg)
+	}
 
 	for _, name := range cfg.Schemes {
 		if _, err := ParseScheme(name); err != nil {

@@ -65,6 +65,9 @@ const (
 	// (budget charged, machines migrated, in-flight work replayed);
 	// Subject is the killed backend, Detail the survivor.
 	EvFailover
+	// EvResize: the adaptive admission controller resized the worker
+	// limit; Detail is the "old->new" transition, Value the new limit.
+	EvResize
 	numEventKinds
 )
 
@@ -87,6 +90,7 @@ var eventKindNames = [numEventKinds]string{
 	EvProbe:        "breaker_probe",
 	EvMigrate:      "migrate",
 	EvFailover:     "failover",
+	EvResize:       "resize",
 }
 
 // String names the kind.

@@ -145,6 +145,48 @@ func (h *Histogram) Observe(v uint64) {
 	h.count.Inc()
 }
 
+// Count returns how many values the histogram has observed. A nil
+// receiver reads zero.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Value()
+}
+
+// Quantile estimates the q = num/den quantile (e.g. 99, 100 for p99)
+// as the upper bound of the bucket holding the ceil(q*count)-th
+// observation — the standard fixed-bucket upper-bound estimate, exact
+// integer arithmetic so the result is deterministic. Observations that
+// landed in the implicit +Inf bucket saturate to twice the last
+// finite bound; callers comparing against SLO targets must size their
+// bucket layout so targets sit below the last bound. Returns 0 on an
+// empty histogram or nil receiver.
+func (h *Histogram) Quantile(num, den uint64) uint64 {
+	if h == nil || den == 0 {
+		return 0
+	}
+	total := h.count.Value()
+	if total == 0 {
+		return 0
+	}
+	rank := (total*num + den - 1) / den
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Value()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return 2 * h.bounds[len(h.bounds)-1]
+		}
+	}
+	return 2 * h.bounds[len(h.bounds)-1]
+}
+
 // instrumentKind tags what a family holds.
 type instrumentKind int
 
@@ -350,6 +392,28 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.series[""] = &series{fn: fn}
+}
+
+// GaugeFuncWith registers a labeled gather-time gauge — one series of
+// a labeled family whose value is read from fn at every Gather. Used
+// for externally owned per-instance values (e.g. per-backend in-flight
+// counts in the cluster router). fn must be safe for concurrent use;
+// re-registering the same label set replaces the previous fn.
+func (r *Registry) GaugeFuncWith(name, help string, labelNames, labelValues []string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, kindGaugeFunc, labelNames, nil)
+	if len(labelValues) != len(labelNames) {
+		panic(fmt.Sprintf("telemetry: metric %s wants %d label value(s), got %d",
+			name, len(labelNames), len(labelValues)))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.series[seriesKey(labelValues)] = &series{
+		labels: append([]string(nil), labelValues...),
+		fn:     fn,
+	}
 }
 
 // Histogram returns the unlabeled histogram with the given ascending

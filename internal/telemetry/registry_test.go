@@ -183,3 +183,70 @@ func TestGatherDeterminism(t *testing.T) {
 		t.Errorf("snapshot depends on creation order:\n%s\nvs\n%s", a, b)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pacstack_test_quantile", "", []uint64{10, 100, 1000})
+	if got := h.Quantile(99, 100); got != 0 {
+		t.Fatalf("empty histogram p99 = %d, want 0", got)
+	}
+	// 90 observations <= 10, 9 in (10,100], 1 in (100,1000].
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50)
+	}
+	h.Observe(500)
+	if got := h.Quantile(50, 100); got != 10 {
+		t.Fatalf("p50 = %d, want 10", got)
+	}
+	if got := h.Quantile(99, 100); got != 100 {
+		t.Fatalf("p99 = %d, want 100", got)
+	}
+	if got := h.Quantile(100, 100); got != 1000 {
+		t.Fatalf("p100 = %d, want 1000", got)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	// Observations past the last bound saturate to 2*last.
+	h2 := r.Histogram("pacstack_test_quantile_inf", "", []uint64{10})
+	h2.Observe(99999)
+	if got := h2.Quantile(99, 100); got != 20 {
+		t.Fatalf("+Inf p99 = %d, want saturated 20", got)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(99, 100) != 0 || nilH.Count() != 0 {
+		t.Fatal("nil histogram reads must be zero")
+	}
+}
+
+func TestGaugeFuncWithLabels(t *testing.T) {
+	r := NewRegistry()
+	vals := []int64{3, 7}
+	for i := range vals {
+		i := i
+		r.GaugeFuncWith("pacstack_test_inflight", "per-backend in-flight",
+			[]string{"backend"}, []string{string(rune('0' + i))},
+			func() int64 { return vals[i] })
+	}
+	snap := r.Gather()
+	var fam *Family
+	for i := range snap.Families {
+		if snap.Families[i].Name == "pacstack_test_inflight" {
+			fam = &snap.Families[i]
+		}
+	}
+	if fam == nil || len(fam.Series) != 2 {
+		t.Fatalf("family missing or wrong arity: %+v", fam)
+	}
+	for i, s := range fam.Series {
+		if len(s.Labels) != 1 || s.Labels[0].Name != "backend" {
+			t.Fatalf("series %d labels = %+v", i, s.Labels)
+		}
+		if s.GaugeValue != vals[i] {
+			t.Fatalf("series %d value = %d, want %d", i, s.GaugeValue, vals[i])
+		}
+	}
+}

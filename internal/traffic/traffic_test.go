@@ -1,0 +1,191 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+
+	"pacstack/internal/telemetry"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := BurstScenario(7)
+	a, err := m.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := BurstScenario(7)
+	b, err := m2.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same model+seed produced different arrival streams")
+	}
+	if len(a) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	m8 := BurstScenario(8)
+	other, err := m8.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, other) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateSortedAndBounded(t *testing.T) {
+	m := BurstScenario(3)
+	arr, err := m.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for i, a := range arr {
+		if a.At < prev {
+			t.Fatalf("arrival %d out of order: %d after %d", i, a.At, prev)
+		}
+		prev = a.At
+		if a.At >= m.Horizon {
+			t.Fatalf("arrival %d at %d beyond horizon %d", i, a.At, m.Horizon)
+		}
+		if a.Class < 0 || a.Class >= len(m.Classes) {
+			t.Fatalf("arrival %d class %d out of range", i, a.Class)
+		}
+		if a.Slow < 1 {
+			t.Fatalf("arrival %d slow factor %d < 1", i, a.Slow)
+		}
+		if a.Workload == "" || a.Scheme == "" {
+			t.Fatalf("arrival %d missing workload/scheme: %+v", i, a)
+		}
+	}
+}
+
+func TestBurstRaisesDensity(t *testing.T) {
+	m := BurstScenario(5)
+	arr, err := m.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := m.Bursts[0]
+	inBurst, window := 0, 0
+	// Compare the burst window's density against an equally sized
+	// quiet window well before it.
+	for _, a := range arr {
+		if a.At >= b.At && a.At < b.At+b.Dur {
+			inBurst++
+		}
+		if a.At >= 1_000_000 && a.At < 1_000_000+b.Dur {
+			window++
+		}
+	}
+	if inBurst < 4*window {
+		t.Fatalf("burst density %d not clearly above quiet density %d", inBurst, window)
+	}
+}
+
+func TestMixtureHitsEveryClass(t *testing.T) {
+	m := BurstScenario(11)
+	arr, err := m.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(m.Classes))
+	for _, a := range arr {
+		counts[a.Class]++
+	}
+	for i, c := range m.Classes {
+		if counts[i] == 0 {
+			t.Fatalf("class %q never drawn in %d arrivals", c.Name, len(arr))
+		}
+	}
+	// web must dominate by count; the tail classes must stay the tail.
+	web := counts[0]
+	for i := 1; i < len(counts); i++ {
+		if counts[i] >= web {
+			t.Fatalf("class %q (%d) outweighs web (%d)", m.Classes[i].Name, counts[i], web)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Model{
+		{},
+		{Horizon: 1000},
+		{Horizon: 1000, Rate: 1},
+		{Horizon: 1000, Rate: 1, Diurnal: 0.5, Classes: DefaultClasses()},
+		{Horizon: 1000, Rate: 1, Classes: []Class{{Name: "x"}}},
+		{Horizon: 1000, Rate: 1, Classes: []Class{{Name: "x", Workloads: []string{"chain"}}}},
+		{Horizon: 1000, Rate: 1, Classes: []Class{
+			{Name: "x", Workloads: []string{"chain"}, Weight: 1},
+			{Name: "x", Workloads: []string{"chain"}, Weight: 1},
+		}},
+		{Horizon: 1000, Rate: 1, Classes: DefaultClasses(), Bursts: []Burst{{Factor: 2}}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("model %d validated but should not have", i)
+		}
+	}
+	good := BurstScenario(1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("canned scenario invalid: %v", err)
+	}
+}
+
+func TestEvaluatorReport(t *testing.T) {
+	classes := []Class{
+		{Name: "a", Workloads: []string{"chain"}, Weight: 1,
+			SLO: SLO{P50: 1 << 12, P99: 1 << 14, ShedPermille: 100, ErrorPermille: 100}},
+		{Name: "b", Workloads: []string{"chain"}, Weight: 1,
+			SLO: SLO{P99: 1 << 12, ShedPermille: 0, ErrorPermille: 0}},
+	}
+	reg := telemetry.NewRegistry()
+	e := NewEvaluator(classes, reg)
+	// Class a: healthy — latencies under both targets, no sheds.
+	for i := 0; i < 99; i++ {
+		e.Arrival(0)
+		e.Done(0, 3000, OutcomeOK)
+	}
+	e.Arrival(0)
+	e.Done(0, 12_000, OutcomeOK) // the p100 outlier, within P99 slack
+	// Class b: one shed, one error, latency over target.
+	for i := 0; i < 10; i++ {
+		e.Arrival(1)
+		e.Done(1, 50_000, OutcomeOK)
+	}
+	e.Arrival(1)
+	e.Shed(1)
+	e.Retry(1)
+	e.Done(1, 100_000, OutcomeGaveUp)
+
+	rep := e.Report()
+	a, b := rep.Class("a"), rep.Class("b")
+	if a == nil || b == nil {
+		t.Fatal("missing class rows")
+	}
+	if !a.Pass || len(a.Violations) != 0 {
+		t.Fatalf("class a should pass: %+v", a)
+	}
+	if a.P50 != 1<<12 {
+		t.Fatalf("class a p50 = %d, want %d", a.P50, 1<<12)
+	}
+	if b.Pass || len(b.Violations) != 3 {
+		t.Fatalf("class b should fail p99+shed+errors: %+v", b.Violations)
+	}
+	if rep.Pass {
+		t.Fatal("report passed with a failing class")
+	}
+	// Quantiles must come from the registry's histogram series: the
+	// telemetry dump and SLO report share the same source of truth.
+	snap := reg.Gather()
+	found := false
+	for _, f := range snap.Families {
+		if f.Name == "pacstack_traffic_latency_cycles" {
+			found = len(f.Series) == 2
+		}
+	}
+	if !found {
+		t.Fatal("latency histogram family missing from the registry")
+	}
+}

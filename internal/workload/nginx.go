@@ -103,6 +103,13 @@ func handshakeProgram(requests int) *ir.Program {
 	return prog
 }
 
+// NginxProgram returns the simulated per-connection TLS code path
+// (one handshake + parse + respond) as a servable workload. At ~640k
+// cycles per connection it is the heaviest request class in the
+// serving catalog — the far tail of the traffic model's cost mixture,
+// next to "chain" (tens of thousands) and the SPEC profiles (~400k).
+func NginxProgram() *ir.Program { return handshakeProgram(1) }
+
 // eightWorkerScaling is the throughput ratio TPS(8w)/TPS(4w) observed
 // in the paper's baseline row (30.7k / 14.2k); it captures how the
 // a1.metal host scaled, including whatever superlinearity the 4-worker
