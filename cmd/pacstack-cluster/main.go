@@ -28,12 +28,36 @@
 // keys, no request replayed twice, and the restart budget was charged
 // exactly once per absorbed kill.
 //
+// With -traffic, the soak takes the serving tier's open-loop traffic
+// model instead of the closed client loop: heavy-tailed arrival
+// classes with per-class SLOs, optionally a network fault mesh
+// (-mesh FILE or -mesh-gray N), and the chaos-mesh defense — hedged
+// requests (-hedge), the cluster-global retry budget, outlier
+// ejection, priority brownout and vertical core scaling
+// (-vertical-max) — all switched on together by -resilient. The
+// report gains the per-class SLO evaluation (-slo-report writes it as
+// JSON) and stays byte-identical across -par widths.
+//
+// With -mesh-gate, it runs the canned gray-backend burst twice —
+// naive, then resilient — and exits non-zero unless the naive run
+// demonstrably blows at least one class SLO, the resilient run holds
+// every class through the same faults, and the secondaries the
+// resilient run spent stayed inside the configured retry budget.
+//
 // With -daemon, it serves the live fleet over HTTP instead:
 //
 //	POST /v1/run         route one workload through the cluster
 //	GET  /v1/cluster     fleet status (liveness, breakers, machines)
 //	POST /v1/kill?backend=N   kill a backend: drain, migrate, re-seed
+//	GET  /v1/mesh        live link state (config + up/down ruling)
+//	POST /v1/mesh        replace the live link state wholesale
 //	GET  /metrics /events /v1/telemetry /healthz   as in pacstack-serve
+//
+// With -daemon -state-dir DIR, each backend recovers its prior
+// incarnation's checkpoint from DIR/backend-N at startup, and a final
+// boot-state checkpoint per alive backend is committed there after the
+// SIGTERM drain — the pacstack-serve durability contract, per fleet
+// member.
 package main
 
 import (
@@ -46,6 +70,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -53,9 +78,13 @@ import (
 
 	"pacstack/internal/cluster"
 	"pacstack/internal/harness"
+	"pacstack/internal/mesh"
 	"pacstack/internal/par"
+	"pacstack/internal/resilience"
 	"pacstack/internal/serve"
+	"pacstack/internal/snap"
 	"pacstack/internal/telemetry"
+	"pacstack/internal/traffic"
 )
 
 func main() {
@@ -85,10 +114,23 @@ func main() {
 	check := flag.Bool("check", false, "exit non-zero unless the failover criteria hold (zero silent losses, keys re-seeded, budget charged once)")
 	telemetryDump := flag.String("telemetry-dump", "", "write the run's telemetry (metrics + events) as JSON to this path")
 
+	trafficMode := flag.String("traffic", "", "open-loop traffic model: default or burst (empty: closed client loop)")
+	cores := flag.Int("cores", 0, "modelled cores per backend for the contention model (traffic mode; 0: default)")
+	meshFile := flag.String("mesh", "", "JSON mesh.Config file with per-backend link faults (traffic mode)")
+	meshGray := flag.Int("mesh-gray", -1, "put the canned gray link (slow, lossy, never dead) on this backend (traffic mode; <0: none)")
+	hedge := flag.Bool("hedge", false, "hedge slow requests onto the next-ranked backend (traffic mode)")
+	outlier := flag.Bool("outlier", false, "eject statistical-outlier backends from routing (traffic mode)")
+	brownout := flag.Bool("brownout", false, "shed low-priority classes under overload (traffic mode)")
+	verticalMax := flag.Int("vertical-max", 0, "vertically scale per-backend cores up to this cap (traffic mode; 0: off)")
+	resilient := flag.Bool("resilient", false, "enable the full chaos-mesh defense: hedging, retry budget, outlier ejection, brownout")
+	meshGate := flag.Bool("mesh-gate", false, "run the canned gray-backend burst naive vs resilient and grade the pair")
+	sloReport := flag.String("slo-report", "", "write the per-class SLO evaluation as JSON to this path (traffic mode)")
+
 	daemon := flag.Bool("daemon", false, "serve the live fleet over HTTP instead of running the soak")
 	addr := flag.String("addr", ":8438", "listen address (daemon)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline (daemon; 0: none)")
 	drainWait := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline (daemon)")
+	stateDir := flag.String("state-dir", "", "per-backend on-disk snapshot stores (daemon); recovered at startup, final checkpoints committed on graceful shutdown")
 	flag.Parse()
 
 	kinds, err := serve.ParseKinds(*chaosKinds)
@@ -122,7 +164,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runDaemon(cl, *addr, *drainWait)
+		runDaemon(cl, *addr, *drainWait, *stateDir)
 		return
 	}
 
@@ -130,11 +172,12 @@ func main() {
 		restore := par.SetWorkers(*parWidth)
 		defer restore()
 	}
-	var tel *telemetry.Set
-	if *telemetryDump != "" {
-		tel = telemetry.New(telemetry.Options{})
+
+	if *meshGate {
+		os.Exit(runMeshGate(*seed, *asJSON))
 	}
-	rep, err := cluster.Soak(context.Background(), cluster.SoakConfig{
+
+	cfg := cluster.SoakConfig{
 		Backends:         *backends,
 		Clients:          *clients,
 		Requests:         *requests,
@@ -148,15 +191,74 @@ func main() {
 		CheckpointCrash:  *checkpointCrash,
 		Workers:          *workers,
 		Queue:            *queue,
+		Cores:            *cores,
 		Retries:          *retries,
 		BreakerThreshold: *brThreshold,
 		Kills:            killList,
 		MigrateLatency:   *migrateLatency,
 		FailoverBudget:   *failoverBudget,
-		Telemetry:        tel,
-	})
+	}
+
+	if *trafficMode != "" {
+		var model traffic.Model
+		switch *trafficMode {
+		case "default":
+			model = traffic.Default(*seed)
+		case "burst":
+			model = traffic.BurstScenario(*seed)
+		default:
+			log.Fatalf("unknown -traffic mode %q (want default or burst)", *trafficMode)
+		}
+		cfg.Traffic = &model
+	}
+	meshCfg, err := loadMesh(*meshFile, *meshGray)
 	if err != nil {
 		log.Fatal(err)
+	}
+	cfg.Mesh = meshCfg
+	if *resilient {
+		// The canned defense: the same shape the mesh gate's resilient
+		// arm runs, minus its fleet sizing.
+		gate := cluster.MeshGateConfig(*seed, true)
+		cfg.Hedge = gate.Hedge
+		cfg.RetryBudget = gate.RetryBudget
+		cfg.Outlier = gate.Outlier
+		cfg.Brownout = gate.Brownout
+	}
+	if *hedge && cfg.Hedge == nil {
+		cfg.Hedge = &cluster.HedgeConfig{}
+	}
+	if *outlier && cfg.Outlier == nil {
+		cfg.Outlier = &cluster.OutlierConfig{}
+	}
+	if *brownout && cfg.Brownout == nil {
+		cfg.Brownout = &cluster.BrownoutConfig{}
+	}
+	if *verticalMax > 0 {
+		cfg.VerticalAdaptive = &resilience.AIMDConfig{Max: *verticalMax}
+	}
+
+	var tel *telemetry.Set
+	if *telemetryDump != "" {
+		tel = telemetry.New(telemetry.Options{})
+	}
+	cfg.Telemetry = tel
+	rep, err := cluster.Soak(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *sloReport != "" {
+		if rep.SLO == nil {
+			log.Fatal("-slo-report needs a traffic-mode run (-traffic)")
+		}
+		out, err := json.MarshalIndent(rep.SLO, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*sloReport, append(out, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *telemetryDump != "" {
@@ -237,9 +339,150 @@ func parseKills(ats, backends string) ([]cluster.KillSpec, error) {
 	return kills, nil
 }
 
+// loadMesh builds the soak's mesh config from the flags: a JSON file,
+// the canned gray link on one backend, or both (the gray link wins a
+// collision on its index). Nil when neither flag is set.
+func loadMesh(file string, gray int) (*mesh.Config, error) {
+	var cfg mesh.Config
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			return nil, fmt.Errorf("mesh file %s: %w", file, err)
+		}
+	}
+	if gray >= 0 {
+		if cfg.Links == nil {
+			cfg.Links = map[int]mesh.LinkConfig{}
+		}
+		cfg.Links[gray] = mesh.Gray()
+	}
+	if len(cfg.Links) == 0 {
+		return nil, nil
+	}
+	return &cfg, nil
+}
+
+// runMeshGate runs the canned gray-backend burst scenario twice —
+// naive, then with the full chaos-mesh defense — and grades the pair.
+// The robustness criterion: the naive fleet must demonstrably blow at
+// least one class SLO under the gray link and the burst, the resilient
+// fleet must hold every class through the same faults with zero hedge
+// key-sharing violations, and the secondaries it spent (hedges +
+// retries) must stay inside the configured retry budget. A gray link
+// too weak to hurt the naive fleet proves nothing, so that also fails
+// the gate. Returns the process exit code.
+func runMeshGate(seed int64, asJSON bool) int {
+	run := func(resilient bool) *cluster.ClusterReport {
+		rep, err := cluster.Soak(context.Background(), cluster.MeshGateConfig(seed, resilient))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+	naive := run(false)
+	res := run(true)
+
+	if asJSON {
+		out, err := json.MarshalIndent(map[string]*traffic.SLOReport{
+			"naive": naive.SLO, "resilient": res.SLO,
+		}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(harness.ClusterSoak(naive))
+		fmt.Println()
+		fmt.Print(harness.ClusterSoak(res))
+		fmt.Println()
+	}
+
+	code := 0
+	bad := func(format string, args ...any) {
+		log.Printf("MESH GATE FAILED: "+format, args...)
+		code = 1
+	}
+	if !naive.Graceful() || !res.Graceful() {
+		bad("a run was not graceful (naive %v, resilient %v)", naive.Graceful(), res.Graceful())
+	}
+	if naive.SLO == nil || res.SLO == nil {
+		bad("missing SLO report")
+		return 1
+	}
+	if naive.SLO.Pass {
+		bad("the naive fleet survived the gray backend — the scenario exercises nothing")
+	}
+	if !res.SLO.Pass {
+		var failed []string
+		for _, c := range res.SLO.Classes {
+			if !c.Pass {
+				failed = append(failed, fmt.Sprintf("%s (%s)", c.Class, strings.Join(c.Violations, "; ")))
+			}
+		}
+		bad("resilient fleet out of SLO: %s", strings.Join(failed, ", "))
+	}
+	if err := res.Check(); err != nil {
+		bad("resilient acceptance: %v", err)
+	}
+	if res.Hedges == 0 {
+		bad("the resilient fleet never hedged — the pass is not its doing")
+	}
+	if res.HedgeKeyViolations > 0 {
+		bad("%d hedged pair(s) shared PA keys", res.HedgeKeyViolations)
+	}
+	if res.Budget == nil {
+		bad("resilient run carried no retry budget")
+	} else if res.Budget.Granted > res.BudgetBound {
+		bad("retry amplification %d secondaries exceeds the budget bound %d", res.Budget.Granted, res.BudgetBound)
+	}
+	if code == 0 {
+		var naiveFailed []string
+		for _, c := range naive.SLO.Classes {
+			if !c.Pass {
+				naiveFailed = append(naiveFailed, c.Class)
+			}
+		}
+		log.Printf("mesh gate OK: naive fleet violates SLO for %s behind the gray link; resilient fleet (hedges %d won %d, browned %d, ejections %d, secondaries %d <= bound %d) holds every class",
+			strings.Join(naiveFailed, ","), res.Hedges, res.HedgeWins, res.BrownedOut, res.Ejections, res.Budget.Granted, res.BudgetBound)
+	}
+	return code
+}
+
 // runDaemon serves the live fleet until SIGTERM/SIGINT, then drains
-// every backend and exits with the fleet status logged.
-func runDaemon(cl *cluster.Cluster, addr string, drainWait time.Duration) {
+// every backend and exits with the fleet status logged. With stateDir,
+// each backend recovers its prior checkpoint from DIR/backend-N before
+// traffic and commits a final one after the drain — the pacstack-serve
+// durability contract applied per fleet member.
+func runDaemon(cl *cluster.Cluster, addr string, drainWait time.Duration, stateDir string) {
+	stores := make([]*snap.Store, cl.Size())
+	if stateDir != "" {
+		for i := 0; i < cl.Size(); i++ {
+			dir := filepath.Join(stateDir, fmt.Sprintf("backend-%d", i))
+			fs, err := snap.NewDirFS(dir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			st := snap.NewStore(fs)
+			st.Tel = snap.NewTelemetry(cl.Telemetry().Registry())
+			_, _, rep, err := st.Recover()
+			switch {
+			case errors.Is(err, snap.ErrNoSnapshot):
+				log.Printf("state dir %s: no prior checkpoint (fresh start)", dir)
+			case err != nil:
+				log.Fatalf("state dir %s: recovery failed: %v", dir, err)
+			default:
+				log.Printf("state dir %s: recovered checkpoint seq %d (%d snapshot(s), %d anomalies)",
+					dir, rep.RestoredSeq, len(rep.Snapshots), len(rep.Anomalies))
+				for _, a := range rep.Anomalies {
+					log.Printf("state dir anomaly: %s %s: %s", a.Kind, a.Name, a.Detail)
+				}
+			}
+			stores[i] = st
+		}
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           cl.Handler(),
@@ -272,6 +515,25 @@ func runDaemon(cl *cluster.Cluster, addr string, drainWait time.Duration) {
 		log.Printf("shutdown: %v", err)
 	}
 	<-errc
+
+	// Final checkpoints only after the drain, and only for backends
+	// that are still alive — a killed backend's machines migrated away
+	// and its durable record belongs to the survivor that took them.
+	if stateDir != "" {
+		for i := 0; i < cl.Size(); i++ {
+			srv, alive := cl.Server(i)
+			if !alive {
+				log.Printf("backend %d: dead, no final checkpoint", i)
+				continue
+			}
+			n, err := srv.FinalCheckpoint(stores[i])
+			if err != nil {
+				log.Printf("backend %d: final checkpoint incomplete after %d commit(s): %v", i, n, err)
+			} else {
+				log.Printf("backend %d: final checkpoint, %d scheme snapshot(s) committed", i, n)
+			}
+		}
+	}
 
 	out, _ := json.MarshalIndent(cl.Status(), "", "  ")
 	log.Printf("final cluster status:\n%s", out)

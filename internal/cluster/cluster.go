@@ -24,6 +24,10 @@ var ErrNoBackend = errors.New("cluster: no backend available")
 // already dead.
 var ErrDeadBackend = errors.New("cluster: backend is dead")
 
+// ErrLinkDown reports that the live mesh faulted the message to a
+// backend — the link is down, partitioned, flapping, or dropped it.
+var ErrLinkDown = errors.New("cluster: mesh link faulted")
+
 // Config parameterises a live Cluster.
 type Config struct {
 	// Backends is the fleet width. Default 3.
@@ -97,12 +101,15 @@ type Cluster struct {
 	backends []*Backend
 	budget   int // failover budget remaining
 
+	mesh meshState
+
 	seq atomic.Uint64
 
 	routedVec     *telemetry.CounterVec
 	deniedVec     *telemetry.CounterVec
 	migrationsVec *telemetry.CounterVec
 	transVec      *telemetry.CounterVec
+	linkDenied    *telemetry.CounterVec
 	migrateBytes  *telemetry.Counter
 	failovers     *telemetry.Counter
 	budgetCharges *telemetry.Counter
@@ -126,6 +133,7 @@ func New(cfg Config) (*Cluster, error) {
 		deniedVec:     reg.CounterVec("pacstack_cluster_breaker_denied_total", "arrivals denied per backend breaker", "backend"),
 		migrationsVec: reg.CounterVec("pacstack_cluster_migrations_total", "machine migrations per backend", "backend", "direction"),
 		transVec:      reg.CounterVec("pacstack_cluster_breaker_transitions_total", "backend breaker state changes", "backend", "to"),
+		linkDenied:    reg.CounterVec("pacstack_cluster_link_denied_total", "live requests the mesh faulted per backend", "backend", "cause"),
 		migrateBytes:  reg.Counter("pacstack_cluster_migrate_bytes_total", "snapshot image bytes shipped in failovers"),
 		failovers:     reg.Counter("pacstack_cluster_failovers_total", "backend deaths absorbed by migration and replay"),
 		budgetCharges: reg.Counter("pacstack_cluster_budget_charges_total", "failover restart-budget charges"),
@@ -209,6 +217,16 @@ func (c *Cluster) Do(ctx context.Context, req serve.Request) (*serve.Result, err
 	var lastErr error
 	for _, idx := range order {
 		b := c.backends[idx]
+		// The live mesh rules first: a down or partitioned link takes
+		// the backend out of consideration, and a sampled message drop
+		// fails this attempt over to the next backend — the router
+		// treats a faulted link exactly like a refusing backend.
+		if cause, faulted := c.meshVerdict(idx); faulted {
+			c.linkDenied.With(fmt.Sprint(idx), cause.String()).Inc()
+			c.tel.Log().Record(telemetry.EvLinkDrop, fmt.Sprintf("backend-%d", idx), cause.String(), id)
+			lastErr = fmt.Errorf("%w: backend %d (%s)", ErrLinkDown, idx, cause)
+			continue
+		}
 		if br := b.Breaker; br != nil {
 			if granted := br.GrantProbes(c.now(), []uint64{id}); len(granted) == 0 {
 				c.deniedVec.With(fmt.Sprint(idx)).Inc()
@@ -384,3 +402,17 @@ func (c *Cluster) Machines(idx int) ([]string, error) {
 
 // Telemetry returns the cluster's telemetry set.
 func (c *Cluster) Telemetry() *telemetry.Set { return c.tel }
+
+// Size is the fleet width, dead members included.
+func (c *Cluster) Size() int { return len(c.backends) }
+
+// Server returns backend idx's serve.Server and whether that backend
+// is still alive — the daemon's handle for per-backend shutdown work
+// (final checkpoints) that the cluster itself does not own.
+func (c *Cluster) Server(idx int) (*serve.Server, bool) {
+	if idx < 0 || idx >= len(c.backends) {
+		return nil, false
+	}
+	b := c.backends[idx]
+	return b.Srv, b.Alive()
+}

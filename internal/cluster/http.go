@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"pacstack/internal/mesh"
 	"pacstack/internal/serve"
 	"pacstack/internal/telemetry"
 )
@@ -41,6 +42,8 @@ func (c *Cluster) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/run", c.handleRun)
 	mux.HandleFunc("GET /v1/cluster", c.handleCluster)
 	mux.HandleFunc("POST /v1/kill", c.handleKill)
+	mux.HandleFunc("GET /v1/mesh", c.handleMeshGet)
+	mux.HandleFunc("POST /v1/mesh", c.handleMeshSet)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("GET /events", c.handleEvents)
 	mux.HandleFunc("GET /v1/telemetry", c.handleTelemetry)
@@ -80,6 +83,9 @@ func clusterStatusOf(err error) (int, any) {
 	if errors.Is(err, ErrNoBackend) {
 		return http.StatusServiceUnavailable, errorBody{Error: err.Error(), Kind: "no_backend"}
 	}
+	if errors.Is(err, ErrLinkDown) {
+		return http.StatusServiceUnavailable, errorBody{Error: err.Error(), Kind: "link_down"}
+	}
 	status, body := serve.HTTPStatus(err)
 	return status, body
 }
@@ -104,6 +110,30 @@ func (c *Cluster) handleKill(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleMeshGet reports the live link state; handleMeshSet replaces it
+// wholesale — POST the full mesh config, an empty/absent links map
+// clears every fault. Wholesale replacement keeps the operator surface
+// honest: what you GET is exactly what was last POSTed, ruled at the
+// current clock.
+func (c *Cluster) handleMeshGet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.MeshStatus())
+}
+
+func (c *Cluster) handleMeshSet(w http.ResponseWriter, r *http.Request) {
+	var cfg mesh.Config
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed mesh config: " + err.Error(), Kind: "bad_request"})
+		return
+	}
+	if err := c.SetMesh(cfg); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_mesh"})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.MeshStatus())
 }
 
 func (c *Cluster) handleMetrics(w http.ResponseWriter, _ *http.Request) {

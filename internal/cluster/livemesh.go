@@ -1,0 +1,91 @@
+// Live-fleet mesh state: the operator-facing side of internal/mesh.
+// The soak injects faults into virtual time; here the same link model
+// gates the live router — a down or partitioned link takes its backend
+// out of the preference order, and a sampled message drop fails the
+// attempt over to the next backend, exactly like a shed. Modeled link
+// latency is reported in the mesh status but not imposed on live
+// requests: the live tier runs on a wall clock and the daemon will
+// not park goroutines to simulate a slow wire.
+
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"pacstack/internal/mesh"
+	"pacstack/internal/telemetry"
+)
+
+// meshState guards the fleet's live mesh. Sample consumes seeded
+// per-link streams and is not safe for concurrent use, so every
+// consult holds the mutex.
+type meshState struct {
+	mu  sync.Mutex
+	net *mesh.Mesh
+	cfg mesh.Config
+}
+
+// SetMesh replaces the fleet's live link state. Link indices must
+// name real backends. An empty config clears every fault.
+func (c *Cluster) SetMesh(cfg mesh.Config) error {
+	for idx := range cfg.Links {
+		if idx >= len(c.backends) {
+			return fmt.Errorf("mesh: link for backend %d, fleet has %d", idx, len(c.backends))
+		}
+	}
+	m, err := mesh.New(cfg, c.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	c.mesh.mu.Lock()
+	c.mesh.net = m
+	c.mesh.cfg = cfg
+	c.mesh.mu.Unlock()
+	c.tel.Log().Record(telemetry.EvMeshSet, "", fmt.Sprintf("%d link(s) configured", len(cfg.Links)), 0)
+	return nil
+}
+
+// MeshLinkStatus is one backend's link as the operator sees it: the
+// configured faults plus the link's up/down ruling right now.
+type MeshLinkStatus struct {
+	Backend int             `json:"backend"`
+	Config  mesh.LinkConfig `json:"config"`
+	Up      bool            `json:"up"`
+}
+
+// MeshStatus is the GET /v1/mesh body.
+type MeshStatus struct {
+	Links []MeshLinkStatus `json:"links"`
+}
+
+// MeshStatus reports the live link state. Backends without a
+// configured link are omitted — they are implicitly perfect.
+func (c *Cluster) MeshStatus() MeshStatus {
+	now := c.now()
+	c.mesh.mu.Lock()
+	defer c.mesh.mu.Unlock()
+	st := MeshStatus{Links: []MeshLinkStatus{}}
+	for _, idx := range c.mesh.net.Backends() {
+		st.Links = append(st.Links, MeshLinkStatus{
+			Backend: idx,
+			Config:  c.mesh.net.Link(idx),
+			Up:      c.mesh.net.Up(idx, now),
+		})
+	}
+	return st
+}
+
+// meshVerdict rules on one live message to backend idx: (cause, true)
+// when the mesh faulted it, (_, false) when it passes. Down links and
+// sampled drops both count — the router treats either as this backend
+// refusing the request.
+func (c *Cluster) meshVerdict(idx int) (mesh.Cause, bool) {
+	c.mesh.mu.Lock()
+	defer c.mesh.mu.Unlock()
+	if c.mesh.net == nil {
+		return mesh.CauseNone, false
+	}
+	v := c.mesh.net.Sample(idx, c.now())
+	return v.Cause, v.Drop
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pacstack/internal/mesh"
+	"pacstack/internal/serve"
+)
+
+// TestLiveMeshRouting: operator link state steers the live router — a
+// down link fails over to the next backend, an all-down mesh surfaces
+// ErrLinkDown, and clearing the mesh restores the fleet.
+func TestLiveMeshRouting(t *testing.T) {
+	cl, err := New(Config{
+		Backends: 2, Seed: 11,
+		Backend:          serve.Config{Workers: 2},
+		BreakerThreshold: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	req := serve.Request{Workload: "chain", Scheme: "pacstack", Seed: 5}
+
+	if err := cl.SetMesh(mesh.Config{Links: map[int]mesh.LinkConfig{0: {Down: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := cl.Do(ctx, req); err != nil {
+			t.Fatalf("Do with one link down: %v", err)
+		}
+	}
+	found := false
+	for _, fam := range cl.Telemetry().Registry().Gather().Families {
+		if fam.Name != "pacstack_cluster_routed_total" {
+			continue
+		}
+		found = true
+		for _, s := range fam.Series {
+			for _, l := range s.Labels {
+				if l.Name == "backend" && l.Value == "0" && s.Value > 0 {
+					t.Fatalf("backend 0 routed %d requests through a down link", s.Value)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no routed counter gathered")
+	}
+
+	if err := cl.SetMesh(mesh.Config{Links: map[int]mesh.LinkConfig{
+		0: {Down: true}, 1: {Down: true},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Do(ctx, req); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("Do with every link down: %v, want ErrLinkDown", err)
+	}
+
+	if err := cl.SetMesh(mesh.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Do(ctx, req); err != nil {
+		t.Fatalf("Do after clearing the mesh: %v", err)
+	}
+
+	if err := cl.SetMesh(mesh.Config{Links: map[int]mesh.LinkConfig{7: {}}}); err == nil {
+		t.Fatal("link for a backend outside the fleet validated")
+	}
+	if err := cl.SetMesh(mesh.Config{Links: map[int]mesh.LinkConfig{0: {Drop: 2}}}); err == nil {
+		t.Fatal("invalid drop probability validated")
+	}
+}
+
+// TestMeshEndpoint: the /v1/mesh surface — GET reflects what was last
+// POSTed ruled at the current clock, bad configs bounce with 400.
+func TestMeshEndpoint(t *testing.T) {
+	cl, err := New(Config{
+		Backends: 2, Seed: 12,
+		Backend:          serve.Config{Workers: 1},
+		BreakerThreshold: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(cl.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Post(srv.URL+"/v1/mesh", "application/json",
+		strings.NewReader(`{"links": {"1": {"down": true, "latency": 9}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st MeshStatus
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 200 || len(st.Links) != 1 {
+		t.Fatalf("POST /v1/mesh: status %d, links %+v", res.StatusCode, st.Links)
+	}
+	if l := st.Links[0]; l.Backend != 1 || l.Up || !l.Config.Down || l.Config.Latency != 9 {
+		t.Fatalf("link status: %+v", l)
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/v1/mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got MeshStatus
+	if err := json.NewDecoder(res.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(got.Links) != 1 || got.Links[0].Backend != 1 {
+		t.Fatalf("GET /v1/mesh after POST: %+v", got)
+	}
+
+	res, err = srv.Client().Post(srv.URL+"/v1/mesh", "application/json",
+		strings.NewReader(`{"links": {"5": {}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 400 {
+		t.Fatalf("out-of-fleet link accepted: status %d", res.StatusCode)
+	}
+}

@@ -24,11 +24,13 @@ import (
 	"sort"
 
 	"pacstack/internal/fault"
+	"pacstack/internal/mesh"
 	"pacstack/internal/par"
 	"pacstack/internal/resilience"
 	"pacstack/internal/serve"
 	"pacstack/internal/snap"
 	"pacstack/internal/telemetry"
+	"pacstack/internal/traffic"
 )
 
 // SoakConfig parameterises a cluster soak. Time-valued knobs are in
@@ -112,6 +114,42 @@ type SoakConfig struct {
 	// Telemetry, when non-nil, receives metrics and events stamped with
 	// virtual time; the dump is byte-identical across runs and widths.
 	Telemetry *telemetry.Set
+
+	// Traffic switches the soak into the open-loop mesh mode
+	// (traffic.go): a traffic model generates the arrival stream and
+	// the knobs below become meaningful. Traffic mode and the kill
+	// schedule are mutually exclusive.
+	Traffic *traffic.Model
+
+	// Cores models each backend's core count for the contention model
+	// (traffic mode). Default Workers.
+	Cores int
+
+	// Mesh is the network fault model injected between router and
+	// backends (traffic mode only).
+	Mesh *mesh.Config
+
+	// DropTimeout is how long (virtual cycles) the sender waits on a
+	// mesh-dropped message before declaring the attempt lost. Default
+	// 64_000.
+	DropTimeout uint64
+
+	// Hedge enables hedged requests (traffic mode only).
+	Hedge *HedgeConfig
+
+	// RetryBudget caps cluster-wide secondaries (retries + hedges) as
+	// a fraction of primaries (traffic mode only).
+	RetryBudget *resilience.RetryBudgetConfig
+
+	// Outlier enables gray-backend ejection (traffic mode only).
+	Outlier *OutlierConfig
+
+	// Brownout enables priority brownout (traffic mode only).
+	Brownout *BrownoutConfig
+
+	// VerticalAdaptive, when non-nil, runs one AIMD instance per
+	// backend resizing its modelled core count (traffic mode only).
+	VerticalAdaptive *resilience.AIMDConfig
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -175,6 +213,9 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	if c.FailoverBudget == 0 {
 		c.FailoverBudget = 1
 	}
+	if c.DropTimeout == 0 {
+		c.DropTimeout = 64_000
+	}
 	return c
 }
 
@@ -214,6 +255,17 @@ type BackendRow struct {
 	MigratedIn    int    `json:"migrated_in"`
 	MigratedOut   int    `json:"migrated_out"`
 	Alive         bool   `json:"alive"`
+
+	// Traffic-mode extensions (omitted in closed-loop reports).
+	// Timeouts counts attempts the mesh ate on this backend's link;
+	// Ejection is the outlier ejector's view; Cores/CoreStats are the
+	// vertical scaler's final size and trajectory; ServiceP99 is the
+	// backend's per-attempt service-duration p99.
+	Timeouts   int                   `json:"timeouts,omitempty"`
+	Ejection   *EjectionRow          `json:"ejection,omitempty"`
+	Cores      int                   `json:"cores,omitempty"`
+	CoreStats  *resilience.AIMDStats `json:"core_stats,omitempty"`
+	ServiceP99 uint64                `json:"service_p99,omitempty"`
 }
 
 // ClusterReport is the deterministic end-of-run summary. For one seed
@@ -278,6 +330,27 @@ type ClusterReport struct {
 
 	VirtualCycles uint64 `json:"virtual_cycles"`
 	InFlightAtEnd int    `json:"in_flight_at_end"`
+
+	// Traffic-mode extensions (omitted in closed-loop reports). The
+	// resilience ledger: hedges launched and won, the §4.3 hedge-pair
+	// key assertion (must be zero), what the mesh ate, attempts that
+	// found an empty candidate set (the distinct no_backend outcome),
+	// brownout admissions refused, the retry-budget accounting with
+	// its proven amplification bound, and outlier ejections.
+	Traffic            bool                         `json:"traffic,omitempty"`
+	SLO                *traffic.SLOReport           `json:"slo,omitempty"`
+	Hedges             int                          `json:"hedges,omitempty"`
+	HedgeWins          int                          `json:"hedge_wins,omitempty"`
+	HedgeKeyViolations int                          `json:"hedge_key_violations,omitempty"`
+	LinkDrops          int                          `json:"link_drops,omitempty"`
+	Timeouts           int                          `json:"timeouts,omitempty"`
+	NoBackend          int                          `json:"no_backend,omitempty"`
+	BrownedOut         int                          `json:"browned_out,omitempty"`
+	BrownoutMaxLevel   int                          `json:"brownout_max_level,omitempty"`
+	BudgetDenied       int                          `json:"budget_denied,omitempty"`
+	Budget             *resilience.RetryBudgetStats `json:"retry_budget,omitempty"`
+	BudgetBound        int                          `json:"retry_budget_bound,omitempty"`
+	Ejections          int                          `json:"ejections,omitempty"`
 }
 
 // Graceful reports whether the run ended cleanly: every issued request
@@ -301,6 +374,12 @@ func (r *ClusterReport) Check() error {
 	}
 	if r.SharedKeyViolations > 0 {
 		return fmt.Errorf("cluster: %d migrated machine(s) share keys with their dead incarnation", r.SharedKeyViolations)
+	}
+	if r.HedgeKeyViolations > 0 {
+		return fmt.Errorf("cluster: %d hedge pair(s) share PA keys", r.HedgeKeyViolations)
+	}
+	if r.Budget != nil && r.Budget.Granted > r.BudgetBound {
+		return fmt.Errorf("cluster: %d secondaries granted, over the retry-budget bound %d", r.Budget.Granted, r.BudgetBound)
 	}
 	if r.ReplayViolations > 0 {
 		return fmt.Errorf("cluster: %d request(s) replayed more than once", r.ReplayViolations)
@@ -349,9 +428,12 @@ const (
 
 // event kinds for the virtual-time replay.
 const (
-	evIssue = iota // client (re)submits a request
-	evDone         // a backend finishes an execution
-	evKill         // the kill-a-backend-mid-soak scenario fires
+	evIssue   = iota // client (re)submits a request
+	evDone           // a backend finishes an execution
+	evKill           // the kill-a-backend-mid-soak scenario fires
+	evTick           // a windowed controller closes a window (traffic mode)
+	evHedge          // a primary's hedge deadline fires (traffic mode)
+	evTimeout        // a mesh-dropped attempt's deadline fires (traffic mode)
 )
 
 type event struct {
@@ -396,6 +478,27 @@ type desBackend struct {
 // phase; the serial replay is fast and not cancellable.
 func Soak(ctx context.Context, cfg SoakConfig) (*ClusterReport, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Traffic == nil {
+		switch {
+		case cfg.Mesh != nil:
+			return nil, fmt.Errorf("cluster: mesh requires traffic mode")
+		case cfg.Hedge != nil:
+			return nil, fmt.Errorf("cluster: hedging requires traffic mode")
+		case cfg.RetryBudget != nil:
+			return nil, fmt.Errorf("cluster: retry budget requires traffic mode")
+		case cfg.Outlier != nil:
+			return nil, fmt.Errorf("cluster: outlier ejection requires traffic mode")
+		case cfg.Brownout != nil:
+			return nil, fmt.Errorf("cluster: brownout requires traffic mode")
+		case cfg.VerticalAdaptive != nil:
+			return nil, fmt.Errorf("cluster: vertical scaling requires traffic mode")
+		}
+	} else {
+		if cfg.KillAt > 0 || len(cfg.Kills) > 0 {
+			return nil, fmt.Errorf("cluster: traffic mode and the kill schedule are mutually exclusive")
+		}
+		return soakClusterTraffic(ctx, cfg)
+	}
 	for _, name := range cfg.Schemes {
 		if _, err := serve.ParseScheme(name); err != nil {
 			return nil, err

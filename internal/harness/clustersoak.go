@@ -14,8 +14,13 @@ import (
 func ClusterSoak(r *cluster.ClusterReport) string {
 	var b strings.Builder
 	b.WriteString("Cluster soak: seeded virtual-time traffic against a multi-backend fleet (internal/cluster)\n")
-	fmt.Fprintf(&b, "seed %d | workload %s | schemes %s | %d backends | %d clients x %d requests | chaos %.1f%% | heal %d\n",
-		r.Seed, r.Workload, strings.Join(r.Schemes, ","), r.Backends, r.Clients, r.PerClient, 100*r.ChaosRate, r.Heal)
+	if r.Traffic {
+		fmt.Fprintf(&b, "seed %d | workload %s | schemes %s | %d backends | traffic model (%d arrivals) | chaos %.1f%% | heal %d\n",
+			r.Seed, r.Workload, strings.Join(r.Schemes, ","), r.Backends, r.Issued, 100*r.ChaosRate, r.Heal)
+	} else {
+		fmt.Fprintf(&b, "seed %d | workload %s | schemes %s | %d backends | %d clients x %d requests | chaos %.1f%% | heal %d\n",
+			r.Seed, r.Workload, strings.Join(r.Schemes, ","), r.Backends, r.Clients, r.PerClient, 100*r.ChaosRate, r.Heal)
+	}
 	switch {
 	case len(r.Kills) > 0:
 		for _, k := range r.Kills {
@@ -51,6 +56,33 @@ func ClusterSoak(r *cluster.ClusterReport) string {
 	fmt.Fprintf(&b, "%-26s %9d %8d %8d %8d %8d %8d\n",
 		"total", r.Issued, r.OK, r.Healed, r.Detected, r.Silent, r.GaveUp)
 
+	if r.Traffic {
+		// The chaos-mesh resilience table: per-backend health as the
+		// ejector saw it, plus the fleet-wide defense counters.
+		fmt.Fprintf(&b, "\n%-10s %8s %9s %10s %12s %12s\n",
+			"backend", "timeouts", "ejections", "last-cause", "cores", "service-p99")
+		for _, row := range r.PerBackend {
+			ejections, cause := 0, "-"
+			if row.Ejection != nil {
+				ejections, cause = row.Ejection.Ejections, row.Ejection.LastCause
+			}
+			cores := fmt.Sprint(row.Cores)
+			if row.CoreStats != nil {
+				cores = fmt.Sprintf("%d (%d..%d)", row.Cores, row.CoreStats.LimitMin, row.CoreStats.LimitMax)
+			}
+			fmt.Fprintf(&b, "%-10d %8d %9d %10s %12s %12d\n",
+				row.Backend, row.Timeouts, ejections, cause, cores, row.ServiceP99)
+		}
+		fmt.Fprintf(&b, "\nhedges %d (won %d, key violations %d) | link drops %d | timeouts %d | no-backend %d\n",
+			r.Hedges, r.HedgeWins, r.HedgeKeyViolations, r.LinkDrops, r.Timeouts, r.NoBackend)
+		fmt.Fprintf(&b, "brownout: %d shed (max level %d) | ejections %d\n",
+			r.BrownedOut, r.BrownoutMaxLevel, r.Ejections)
+		if r.Budget != nil {
+			fmt.Fprintf(&b, "retry budget: %d primaries, %d secondaries granted, %d denied (bound %d)\n",
+				r.Budget.Primaries, r.Budget.Granted, r.Budget.Denied, r.BudgetBound)
+		}
+	}
+
 	fmt.Fprintf(&b, "\ninjected faults %d | retries %d | sheds %d | breaker denied %d\n",
 		r.Injected, r.Retries, r.Sheds, r.BreakerDenied)
 	if r.Checkpoints > 0 || r.TornCommits > 0 || r.Restores > 0 {
@@ -83,6 +115,10 @@ func ClusterSoak(r *cluster.ClusterReport) string {
 		if r.ReplayViolations > 0 {
 			fmt.Fprintf(&b, "REPLAY VIOLATIONS: %d request(s) replayed more than once\n", r.ReplayViolations)
 		}
+	}
+
+	if r.SLO != nil {
+		b.WriteString(SLO(r.SLO))
 	}
 
 	fmt.Fprintf(&b, "\nvirtual cycles %d | in flight at end %d\n", r.VirtualCycles, r.InFlightAtEnd)

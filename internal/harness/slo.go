@@ -21,15 +21,15 @@ func SLO(r *traffic.SLOReport) string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "\nSLO evaluation (%s admission)\n", mode)
-	fmt.Fprintf(&b, "%-8s %8s %6s %6s %6s %6s %6s %9s %9s %6s %6s  %s\n",
-		"class", "arrivals", "ok", "err", "shed", "retry", "silent", "p50", "p99", "shed%.", "err%.", "status")
+	fmt.Fprintf(&b, "%-8s %8s %6s %6s %6s %6s %6s %6s %9s %9s %6s %6s  %s\n",
+		"class", "arrivals", "ok", "err", "shed", "brown", "retry", "silent", "p50", "p99", "shed%.", "err%.", "status")
 	for _, c := range r.Classes {
 		status := "pass"
 		if !c.Pass {
 			status = "FAIL: " + strings.Join(c.Violations, ", ")
 		}
-		fmt.Fprintf(&b, "%-8s %8d %6d %6d %6d %6d %6d %9d %9d %6d %6d  %s\n",
-			c.Class, c.Arrivals, c.OK, c.Detected+c.Silent+c.GaveUp, c.Sheds, c.Retries, c.Silent,
+		fmt.Fprintf(&b, "%-8s %8d %6d %6d %6d %6d %6d %6d %9d %9d %6d %6d  %s\n",
+			c.Class, c.Arrivals, c.OK, c.Detected+c.Silent+c.GaveUp, c.Sheds, c.BrownedOut, c.Retries, c.Silent,
 			c.P50, c.P99, c.ShedPermille, c.ErrorPermille, status)
 	}
 	if st := r.Controller; st != nil {

@@ -68,6 +68,24 @@ const (
 	// EvResize: the adaptive admission controller resized the worker
 	// limit; Detail is the "old->new" transition, Value the new limit.
 	EvResize
+	// EvHedge: a hedged attempt launched on the next-ranked backend
+	// after the per-class hedge delay; Subject is the class, Detail
+	// "primary->hedge" backend indices, Value the request id.
+	EvHedge
+	// EvEject: outlier detection ejected a gray backend from the
+	// routing rotation (distinct from its breaker state); Subject is
+	// the backend, Detail the triggering signal, Value the cooldown.
+	EvEject
+	// EvBrownout: the priority brownout controller changed its shedding
+	// level; Detail is the "old->new" transition, Value the new level.
+	EvBrownout
+	// EvLinkDrop: the network fault mesh dropped a message on a
+	// (router,backend) link; Subject is the backend, Detail the cause
+	// (drop, partition, flap), Value the request id.
+	EvLinkDrop
+	// EvMeshSet: the operator replaced the live fleet's mesh link
+	// state over /v1/mesh; Detail summarises the new config.
+	EvMeshSet
 	numEventKinds
 )
 
@@ -91,6 +109,11 @@ var eventKindNames = [numEventKinds]string{
 	EvMigrate:      "migrate",
 	EvFailover:     "failover",
 	EvResize:       "resize",
+	EvHedge:        "hedge",
+	EvEject:        "outlier_eject",
+	EvBrownout:     "brownout",
+	EvLinkDrop:     "link_drop",
+	EvMeshSet:      "mesh_set",
 }
 
 // String names the kind.

@@ -55,6 +55,11 @@ type Class struct {
 	// positive scale; weights are normalized).
 	Weight float64 `json:"weight"`
 
+	// Priority orders classes for brownout shedding: 0 is the most
+	// important tier, higher numbers shed first. Classes sharing a
+	// priority shed together.
+	Priority int `json:"priority,omitempty"`
+
 	// Slow multiplies the class's service time: a slow client holds
 	// its worker slot Slow times longer while trickling virtual time.
 	// 0 and 1 both mean "normal".

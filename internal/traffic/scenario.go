@@ -27,15 +27,18 @@ func specNames(suite workload.Suite, all bool) []string {
 // DefaultClasses is the baseline heavy-tail mixture: interactive
 // chain traffic dominating by count, the SPEC-calibrated profiles and
 // the NGINX TLS handshake tree supplying the Pareto-ish cost tail.
+// Brownout priorities mirror what an operator would declare: the
+// interactive web tier is protected longest (priority 0), api and tls
+// shed after batch, and the hostile overlays go first.
 func DefaultClasses() []Class {
 	return []Class{
-		{Name: "web", Workloads: []string{"chain"}, Weight: 0.85,
+		{Name: "web", Workloads: []string{"chain"}, Weight: 0.85, Priority: 0,
 			SLO: SLO{P50: 16_384, P99: 262_144, ShedPermille: 50, ErrorPermille: 250}},
-		{Name: "api", Workloads: specNames(workload.SPECrate, false), Weight: 0.10,
+		{Name: "api", Workloads: specNames(workload.SPECrate, false), Weight: 0.10, Priority: 1,
 			SLO: SLO{P99: 2_097_152, ShedPermille: 100, ErrorPermille: 250}},
-		{Name: "batch", Workloads: specNames(workload.SPECspeed, false), Weight: 0.03,
+		{Name: "batch", Workloads: specNames(workload.SPECspeed, false), Weight: 0.03, Priority: 2,
 			SLO: SLO{P99: 4_194_304, ShedPermille: 200, ErrorPermille: 300}},
-		{Name: "tls", Workloads: []string{"nginx"}, Weight: 0.02,
+		{Name: "tls", Workloads: []string{"nginx"}, Weight: 0.02, Priority: 1,
 			SLO: SLO{P99: 4_194_304, ShedPermille: 150, ErrorPermille: 250}},
 	}
 }
@@ -50,9 +53,9 @@ func DefaultClasses() []Class {
 // permille against arrivals can legitimately exceed 1000).
 func HostileClasses() []Class {
 	return []Class{
-		{Name: "slow", Workloads: []string{"chain"}, Weight: 0.012, Slow: 40,
+		{Name: "slow", Workloads: []string{"chain"}, Weight: 0.012, Slow: 40, Priority: 3,
 			SLO: SLO{P99: 16_777_216, ShedPermille: 500, ErrorPermille: 400}},
-		{Name: "poison", Workloads: []string{"chain"}, Weight: 0.012, Poison: true,
+		{Name: "poison", Workloads: []string{"chain"}, Weight: 0.012, Poison: true, Priority: 3,
 			SLO: SLO{ShedPermille: -1, ErrorPermille: 1000}},
 	}
 }

@@ -59,7 +59,7 @@ type Evaluator struct {
 	classes []Class
 	lat     []*telemetry.Histogram
 
-	arrivals, ok, detected, silent, gaveup, sheds, retries []int
+	arrivals, ok, detected, silent, gaveup, sheds, retries, browned []int
 }
 
 // NewEvaluator wires per-class instruments into reg (a private
@@ -75,6 +75,7 @@ func NewEvaluator(classes []Class, reg *telemetry.Registry) *Evaluator {
 		arrivals: make([]int, n), ok: make([]int, n),
 		detected: make([]int, n), silent: make([]int, n),
 		gaveup: make([]int, n), sheds: make([]int, n), retries: make([]int, n),
+		browned: make([]int, n),
 	}
 	latVec := reg.HistogramVec("pacstack_traffic_latency_cycles",
 		"virtual latency (first issue to terminal state) by class", LatencyBounds, "class")
@@ -92,6 +93,19 @@ func (e *Evaluator) Shed(class int) { e.sheds[class]++ }
 
 // Retry records one client retry.
 func (e *Evaluator) Retry(class int) { e.retries[class]++ }
+
+// Brownout records one arrival shed at admission by the priority
+// brownout controller. Browned-out arrivals are a *declared* overload
+// response — traffic the operator chose to refuse so higher-priority
+// classes keep their objectives — so SLO evaluation reports them per
+// class but excludes them from the shed/error denominators and the
+// latency distribution: an SLO speaks for the traffic a class was
+// actually offered service on, and counting deliberate refusals as
+// violations would make brownout self-defeating. Brownout is the
+// terminal record here (no Done follows); the owning soak report
+// still counts the request gave-up, keeping its conservation
+// identity intact.
+func (e *Evaluator) Brownout(class int) { e.browned[class]++ }
 
 // Done records a terminal state and its virtual latency (first issue
 // to terminal, retries and backoff included).
@@ -119,6 +133,11 @@ type ClassReport struct {
 	GaveUp   int    `json:"gave_up"`
 	Sheds    int    `json:"sheds"`
 	Retries  int    `json:"retries"`
+
+	// BrownedOut arrivals were refused at admission by the priority
+	// brownout controller; they are reported but SLO-exempt (see
+	// Evaluator.Brownout).
+	BrownedOut int `json:"browned_out,omitempty"`
 
 	P50 uint64 `json:"p50_cycles"`
 	P99 uint64 `json:"p99_cycles"`
@@ -161,13 +180,18 @@ func (e *Evaluator) Report() *SLOReport {
 			OK:       e.ok[i], Detected: e.detected[i],
 			Silent: e.silent[i], GaveUp: e.gaveup[i],
 			Sheds: e.sheds[i], Retries: e.retries[i],
-			P50: e.lat[i].Quantile(50, 100),
-			P99: e.lat[i].Quantile(99, 100),
-			SLO: c.SLO,
+			BrownedOut: e.browned[i],
+			P50:        e.lat[i].Quantile(50, 100),
+			P99:        e.lat[i].Quantile(99, 100),
+			SLO:        c.SLO,
 		}
-		cr.ShedPermille = permille(cr.Sheds, cr.Arrivals)
-		cr.ErrorPermille = permille(cr.Detected+cr.Silent+cr.GaveUp, cr.Arrivals)
-		if cr.Arrivals > 0 {
+		// Browned-out arrivals leave both the numerators and the
+		// denominator: the SLO judges the traffic the class was
+		// actually offered service on.
+		offered := cr.Arrivals - cr.BrownedOut
+		cr.ShedPermille = permille(cr.Sheds, offered)
+		cr.ErrorPermille = permille(cr.Detected+cr.Silent+cr.GaveUp, offered)
+		if offered > 0 {
 			if c.SLO.P50 > 0 && cr.P50 > c.SLO.P50 {
 				cr.Violations = append(cr.Violations, fmt.Sprintf("p50 %d > %d", cr.P50, c.SLO.P50))
 			}
