@@ -17,6 +17,21 @@
 #   table2_wall_seconds    wall time of one full Table 2 regeneration
 #                          (every benchmark under every scheme), from
 #                          BenchmarkTable2
+#   serve_cold_rps         wall-clock requests/second through the
+#                          serving layer booting a fresh machine per
+#                          request (BenchmarkServeColdRPS)
+#   serve_warm_rps         the same request stream served from the
+#                          warm snapshot-fork pools
+#                          (BenchmarkServeWarmRPS). Near-parity is
+#                          expected here: the simulator's cold boot is
+#                          already in-memory, so the wall-clock pair
+#                          mostly measures pool bookkeeping overhead.
+#   warm_rpvs_speedup_closed / warm_rpvs_speedup_traffic
+#                          the virtual-time goodput ratios from the
+#                          pacstack-soak -warm-gate run, where machine
+#                          acquisition is charged at the modeled
+#                          cold-boot vs snapshot-restore cost — the
+#                          architectural fork-server numbers
 #
 # Compare against the previous BENCH_*.json before and after touching
 # the interpreter, the PA model, the telemetry hooks, or the
@@ -44,7 +59,12 @@ while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
 out=$(go test -run=NONE -bench='^(BenchmarkEngine|BenchmarkEngineTelemetry)$' -benchtime=50x .)
 out="$out
 $(go test -run=NONE -bench='^BenchmarkTable2$' -benchtime=3x .)"
+out="$out
+$(go test -run=NONE -bench='^BenchmarkServe(Cold|Warm)RPS$' -benchtime=30x .)"
 printf '%s\n' "$out"
+
+gate=$(go run ./cmd/pacstack-soak -warm-gate -clients 6 -requests 12 -seed 7 -chaos-rate 0.1 -heal 1 2>&1)
+printf '%s\n' "$gate"
 
 # Benchmark names carry a -GOMAXPROCS suffix (BenchmarkEngine-8), so
 # anchor the plain-engine match on that dash to keep the Telemetry
@@ -52,7 +72,11 @@ printf '%s\n' "$out"
 mips=$(printf '%s\n' "$out" | awk '$1 ~ /^BenchmarkEngine(-|$)/ {for (i = 1; i < NF; i++) if ($(i + 1) == "MIPS") v = $i} END {print v}')
 tmips=$(printf '%s\n' "$out" | awk '$1 ~ /^BenchmarkEngineTelemetry/ {for (i = 1; i < NF; i++) if ($(i + 1) == "MIPS") v = $i} END {print v}')
 t2ns=$(printf '%s\n' "$out" | awk '$1 ~ /^BenchmarkTable2/ {for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") v = $i} END {print v}')
-[ -n "$mips" ] && [ -n "$tmips" ] && [ -n "$t2ns" ] || { echo "bench.sh: could not parse benchmark output" >&2; exit 1; }
+crps=$(printf '%s\n' "$out" | awk '$1 ~ /^BenchmarkServeColdRPS/ {for (i = 1; i < NF; i++) if ($(i + 1) == "req/s") v = $i} END {print v}')
+wrps=$(printf '%s\n' "$out" | awk '$1 ~ /^BenchmarkServeWarmRPS/ {for (i = 1; i < NF; i++) if ($(i + 1) == "req/s") v = $i} END {print v}')
+closedx=$(printf '%s\n' "$gate" | sed -n 's/^closed loop:.*(\([0-9.]*\)x)$/\1/p')
+trafficx=$(printf '%s\n' "$gate" | sed -n 's/^fork-server traffic:.*(\([0-9.]*\)x)$/\1/p')
+[ -n "$mips" ] && [ -n "$tmips" ] && [ -n "$t2ns" ] && [ -n "$crps" ] && [ -n "$wrps" ] && [ -n "$closedx" ] && [ -n "$trafficx" ] || { echo "bench.sh: could not parse benchmark output" >&2; exit 1; }
 t2s=$(awk "BEGIN {printf \"%.3f\", $t2ns / 1e9}")
 overhead=$(awk "BEGIN {printf \"%.4f\", 1 - $tmips / $mips}")
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -65,7 +89,11 @@ cat > "BENCH_${n}.json" <<JSON
   "engine_mips_telemetry": ${tmips},
   "telemetry_overhead": ${overhead},
   "table2_wall_seconds": ${t2s},
+  "serve_cold_rps": ${crps},
+  "serve_warm_rps": ${wrps},
+  "warm_rpvs_speedup_closed": ${closedx},
+  "warm_rpvs_speedup_traffic": ${trafficx},
   "note": "${note}"
 }
 JSON
-echo "wrote BENCH_${n}.json (engine ${mips} MIPS nop / ${tmips} MIPS telemetry, overhead ${overhead}, Table 2 in ${t2s}s)"
+echo "wrote BENCH_${n}.json (engine ${mips} MIPS nop / ${tmips} MIPS telemetry, overhead ${overhead}, Table 2 in ${t2s}s, serve ${crps}/${wrps} req/s cold/warm, warm rpvs ${closedx}x closed ${trafficx}x traffic)"

@@ -118,3 +118,25 @@ rm -f /tmp/pacstack-mesh-a.txt /tmp/pacstack-mesh-b.txt \
 # PACStack §4.3 key independence), and its secondaries stayed inside
 # the configured retry budget.
 go run -race ./cmd/pacstack-cluster -mesh-gate -seed 42 > /dev/null
+
+# Warm-pool determinism: the same soak served from the snapshot-fork
+# pools (-boot-model warm: every request leases a pooled machine,
+# restores it from the in-memory boot image and re-seeds its PA keys)
+# must stay a pure function of the seed. The two runs differ only in
+# precompute pool width (-par 1 vs 8); cmp on the rendered report and
+# the telemetry dump — which includes pacstack_pool_restores_total and
+# friends — enforces that pool serving leaks no scheduling into either.
+go run -race ./cmd/pacstack-soak $SOAK_FLAGS -boot-model warm -par 1 -check -telemetry-dump /tmp/pacstack-warm-tel-a.json > /tmp/pacstack-warm-a.txt
+go run -race ./cmd/pacstack-soak $SOAK_FLAGS -boot-model warm -par 8 -check -telemetry-dump /tmp/pacstack-warm-tel-b.json > /tmp/pacstack-warm-b.txt
+cmp /tmp/pacstack-warm-a.txt /tmp/pacstack-warm-b.txt
+cmp /tmp/pacstack-warm-tel-a.json /tmp/pacstack-warm-tel-b.json
+rm -f /tmp/pacstack-warm-a.txt /tmp/pacstack-warm-b.txt \
+      /tmp/pacstack-warm-tel-a.json /tmp/pacstack-warm-tel-b.json
+
+# Warm-pool gate: cold-model vs warm-model at one seed — non-zero exit
+# unless the closed-loop halves agree EXACTLY on every outcome count
+# (the §4.3 draw-parity property measured end to end) with warm goodput
+# >= 10x cold, the boot-dominated open-loop half clears 20x, both warm
+# halves actually served from the pools, and zero image-key probe
+# violations were recorded anywhere.
+go run -race ./cmd/pacstack-soak -warm-gate $SOAK_FLAGS > /dev/null

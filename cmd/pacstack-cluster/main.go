@@ -127,6 +127,7 @@ func main() {
 	sloReport := flag.String("slo-report", "", "write the per-class SLO evaluation as JSON to this path (traffic mode)")
 
 	daemon := flag.Bool("daemon", false, "serve the live fleet over HTTP instead of running the soak")
+	coldDaemon := flag.Bool("cold", false, "daemon backends boot a fresh machine per request instead of serving from warm snapshot-fork pools")
 	addr := flag.String("addr", ":8438", "listen address (daemon)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline (daemon; 0: none)")
 	drainWait := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline (daemon)")
@@ -156,6 +157,7 @@ func main() {
 				Heal:            *heal,
 				CheckpointEvery: *checkpointEvery,
 				Timeout:         *timeout,
+				Warm:            !*coldDaemon,
 			},
 			MachineSchemes:   schemeList,
 			BreakerThreshold: *brThreshold,

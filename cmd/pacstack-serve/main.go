@@ -23,6 +23,7 @@
 // Usage:
 //
 //	pacstack-serve [-addr :8437] [-workers N] [-queue N] [-heal N]
+//	               [-cold] [-pool-machines N]
 //	               [-seed N] [-timeout D] [-budget N]
 //	               [-chaos] [-chaos-rate F] [-chaos-kinds LIST]
 //	               [-breaker-threshold N] [-breaker-cooldown D]
@@ -36,6 +37,14 @@
 // commits one final boot-state snapshot per served scheme after the
 // drain completes, so the next incarnation (or a migration target)
 // restores from a quiescent image and re-seeds its own PA keys.
+//
+// The daemon serves warm by default: each (workload, scheme) pair gets
+// a snapshot-fork pool (internal/pool) holding booted, hardened
+// machines that are restored from an in-memory boot image and re-keyed
+// per request, instead of re-encoding and re-mapping the program every
+// time. -cold disables the pools (the previous per-request boot path);
+// -pool-machines caps pool growth, with leases past the cap falling
+// back to cold boots (counted in pacstack_pool_cold_fallback_total).
 package main
 
 import (
@@ -64,6 +73,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "server entropy seed (kernel keys, chaos draws)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline (0: none)")
 	budget := flag.Uint64("budget", 0, "per-attempt instruction watchdog (0: derived from the golden run)")
+	cold := flag.Bool("cold", false, "boot a fresh machine per request instead of serving from the warm snapshot-fork pools")
+	poolMachines := flag.Int("pool-machines", 0, "warm-pool size cap across shards (0: grow on demand)")
 	chaos := flag.Bool("chaos", false, "inject seeded faults into live traffic")
 	chaosRate := flag.Float64("chaos-rate", 0.1, "per-attempt injection probability under -chaos")
 	chaosKinds := flag.String("chaos-kinds", "", "comma-separated kinds: bitflip, retaddr, smash, register, sigframe (default retaddr,smash,sigframe)")
@@ -94,6 +105,8 @@ func main() {
 		BreakerThreshold: *brThreshold,
 		BreakerCooldown:  uint64(*brCooldown),
 		CheckpointEvery:  *checkpointEvery,
+		Warm:             !*cold,
+		PoolMachines:     *poolMachines,
 	})
 
 	// -state-dir makes shutdown durable: the previous incarnation's
@@ -139,8 +152,12 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (workers %d, queue %d, chaos %v, seed %d)",
-			*addr, s.Config().Workers, s.Config().Queue, *chaos, *seed)
+		mode := "warm pool"
+		if *cold {
+			mode = "cold boot"
+		}
+		log.Printf("listening on %s (workers %d, queue %d, chaos %v, seed %d, %s)",
+			*addr, s.Config().Workers, s.Config().Queue, *chaos, *seed, mode)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -54,6 +54,14 @@ func Soak(r *serve.SoakReport) string {
 	}
 
 	fmt.Fprintf(&b, "virtual cycles %d | in flight at end %d\n", r.VirtualCycles, r.InFlightAtEnd)
+	if r.BootModel != "" {
+		fmt.Fprintf(&b, "boot model %s | %d.%03d requests/virtual-second\n",
+			r.BootModel, r.RPVSMilli/1000, r.RPVSMilli%1000)
+		if r.BootModel == "warm" {
+			fmt.Fprintf(&b, "pool restores %d | cold fallbacks %d | key violations %d\n",
+				r.PoolRestores, r.PoolColdFallbacks, r.PoolKeyViolations)
+		}
+	}
 	if r.Graceful() {
 		fmt.Fprintf(&b, "graceful: every request reached a terminal state (%d+%d+%d+%d = %d issued)\n",
 			r.OK, r.Detected, r.Silent, r.GaveUp, r.Issued)

@@ -39,6 +39,8 @@ import (
 	"pacstack/internal/ir"
 	"pacstack/internal/kernel"
 	"pacstack/internal/pa"
+	"pacstack/internal/par"
+	"pacstack/internal/pool"
 	"pacstack/internal/resilience"
 	"pacstack/internal/snap"
 	"pacstack/internal/supervise"
@@ -97,6 +99,23 @@ type Config struct {
 	// Timeout is the per-request wall-clock deadline applied by the
 	// HTTP layer; 0 means none.
 	Timeout time.Duration
+
+	// Warm switches on warm-pool serving (internal/pool): per
+	// (workload, scheme) the server checkpoints one hardened, booted
+	// machine image at first use and serves each request by restoring
+	// a pooled machine from it — fresh PA keys and canary per restore
+	// (PACStack §4.3) — instead of cold-booting a kernel per request.
+	// Outcomes are bit-identical to cold serving (the pool's Reset
+	// consumes the same entropy stream as a cold boot); only the
+	// machine-acquisition cost changes. The daemon defaults warm with
+	// a -cold escape hatch; the virtual-time soak selects it through
+	// SoakConfig.BootModel.
+	Warm bool
+	// PoolMachines caps each warm pool's machine count; 0 grows pools
+	// on demand (a lease never fails). When a capped pool is
+	// exhausted, the request cold-boots and
+	// pacstack_pool_cold_fallback_total counts it.
+	PoolMachines int
 
 	// Telemetry receives the server's metrics and security events. Nil
 	// gets a private always-on Set, so Stats() works regardless; pass a
@@ -238,6 +257,7 @@ type Server struct {
 	engines  map[string]*fault.Engine
 	breakers map[compile.Scheme]*resilience.Breaker
 	ktels    map[compile.Scheme]*kernel.Telemetry
+	pools    map[string]*pool.Pool // warm pools by workload+"/"+scheme
 
 	seq atomic.Int64
 	tel *telemetry.Set
@@ -255,6 +275,7 @@ func New(cfg Config) *Server {
 		engines:  make(map[string]*fault.Engine),
 		breakers: make(map[compile.Scheme]*resilience.Breaker),
 		ktels:    make(map[compile.Scheme]*kernel.Telemetry),
+		pools:    make(map[string]*pool.Pool),
 		tel:      cfg.Telemetry,
 		m:        newMetrics(cfg.Telemetry.Registry(), cfg.Telemetry.Log()),
 	}
@@ -522,7 +543,29 @@ func (s *Server) execute(ctx context.Context, eng *fault.Engine, scheme compile.
 		budget = 4*goldenInstrs + 10_000
 	}
 
-	k := kernel.New(pa.DefaultConfig())
+	// Warm path: lease a pooled machine and boot every attempt by
+	// snapshot restore (fresh keys + canary per Reset, §4.3). The
+	// pool's Reset consumes the identical entropy stream as a cold
+	// boot, so the request outcome is the same either way — a capped
+	// pool falling back to a cold boot below can only change cost,
+	// never results.
+	var k *kernel.Kernel
+	var bootHook func() (*kernel.Process, error)
+	if s.cfg.Warm {
+		pl, perr := s.pool(workloadName, scheme)
+		if perr != nil {
+			return nil, perr
+		}
+		if m := pl.Get(); m != nil {
+			defer pl.Put(m)
+			k = m.K
+			machine := m
+			bootHook = func() (*kernel.Process, error) { return pl.Reset(machine) }
+		}
+	}
+	if k == nil {
+		k = kernel.New(pa.DefaultConfig())
+	}
 	k.Seed(rng.Int63())
 	k.SetTelemetry(s.kernelTel(scheme))
 	sup := supervise.New(img, k, supervise.Policy{
@@ -531,6 +574,7 @@ func (s *Server) execute(ctx context.Context, eng *fault.Engine, scheme compile.
 		Budget:      budget,
 	})
 	sup.Tel = s.m.sup
+	sup.Boot = bootHook
 	sup.Configure = func(p *kernel.Process) { fault.Harden(scheme, p) }
 
 	// Per-request snapshot store. The torn-crash decision and its byte
@@ -618,6 +662,122 @@ func (s *Server) execute(ctx context.Context, eng *fault.Engine, scheme compile.
 		TornCommits: sup.CommitErrs,
 	}
 	return res, nil
+}
+
+// pool returns (building on first use) the warm pool for the
+// (workload, scheme) pair. Concurrent first-use builds race benignly:
+// the loser's template is discarded.
+func (s *Server) pool(workloadName string, sc compile.Scheme) (*pool.Pool, error) {
+	if workloadName == "" {
+		workloadName = "chain"
+	}
+	key := workloadName + "/" + schemeName(sc)
+	s.mu.Lock()
+	pl, ok := s.pools[key]
+	s.mu.Unlock()
+	if ok {
+		return pl, nil
+	}
+	eng, err := s.engine(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	img, err := eng.Image(sc)
+	if err != nil {
+		return nil, err
+	}
+	seed := s.cfg.Seed
+	for _, c := range key {
+		seed = mix(seed, int64(c)+0x9001)
+	}
+	scheme := sc
+	built, err := pool.New(pool.Config{
+		Img:         img,
+		PA:          pa.DefaultConfig(),
+		Seed:        seed,
+		Configure:   func(p *kernel.Process) { fault.Harden(scheme, p) },
+		Shards:      par.Workers(),
+		MaxMachines: s.cfg.PoolMachines,
+		Tel:         s.m.pool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pl, ok := s.pools[key]; ok {
+		return pl, nil
+	}
+	s.pools[key] = built
+	return built, nil
+}
+
+// BootImage returns the warm pool's encoded boot image for the
+// (workload, scheme) pair — what cluster migration ships so the
+// survivor can re-pool it. Only meaningful on a warm server.
+func (s *Server) BootImage(workloadName, schemeStr string) ([]byte, error) {
+	sc, err := ParseScheme(schemeStr)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := s.pool(workloadName, sc)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Image().Bytes(), nil
+}
+
+// AdoptBootImage re-pools a shipped encoded boot image (the cluster
+// migration path): the (workload, scheme) pool verifies the image
+// against its program and serves later restores from it. A no-op on a
+// cold server.
+func (s *Server) AdoptBootImage(workloadName, schemeStr string, raw []byte) error {
+	if !s.cfg.Warm {
+		return nil
+	}
+	sc, err := ParseScheme(schemeStr)
+	if err != nil {
+		return err
+	}
+	bi, err := snap.NewBootImage(raw)
+	if err != nil {
+		return err
+	}
+	pl, err := s.pool(workloadName, sc)
+	if err != nil {
+		return err
+	}
+	return pl.Adopt(bi)
+}
+
+// PoolStats reads the warm-pool counters from the registry: restores
+// served, cold fallbacks, key violations, and current occupancy.
+func (s *Server) PoolStats() (restores, coldFallbacks, keyViolations uint64, occupancy int64) {
+	return s.m.pool.Restores.Value(), s.m.pool.ColdFallback.Value(),
+		s.m.pool.KeyViolations.Value(), s.m.pool.Occupancy.Value()
+}
+
+// DoBatch executes a batch of requests across the internal/par worker
+// pool and returns per-request results and errors (indexed like reqs).
+// This is the batched execution path the warm pool is shaped for: each
+// worker leases a machine from its own shard, restores it, and runs
+// the victim in StepN quanta, so the trace-compiled engine's dispatch
+// and the pool's lease cost amortize across the queued batch instead
+// of being paid per call.
+func (s *Server) DoBatch(ctx context.Context, reqs []Request) ([]*Result, []error) {
+	results := make([]*Result, len(reqs))
+	errs := make([]error, len(reqs))
+	if err := par.ForEachCtx(ctx, len(reqs), func(i int) error {
+		results[i], errs[i] = s.Do(ctx, reqs[i])
+		return nil
+	}); err != nil {
+		for i := range errs {
+			if errs[i] == nil && results[i] == nil {
+				errs[i] = err
+			}
+		}
+	}
+	return results, errs
 }
 
 // BeginDrain stops admitting new requests (the SIGTERM path's first

@@ -29,6 +29,7 @@ import (
 
 	"pacstack/internal/fault"
 	"pacstack/internal/par"
+	"pacstack/internal/pool"
 	"pacstack/internal/resilience"
 	"pacstack/internal/telemetry"
 	"pacstack/internal/traffic"
@@ -111,6 +112,19 @@ type SoakConfig struct {
 	// dilation instead of adding free capacity. Default: Workers.
 	Cores int
 
+	// BootModel selects how machine acquisition is charged in virtual
+	// time. "" (the default) keeps the legacy model — acquisition is
+	// free, so every pre-existing gate calibration is untouched.
+	// "cold" charges every execution the modeled full-boot cost
+	// (pool.ModelCosts: text encoding plus constructing every page);
+	// "warm" serves the precompute phase from warm pools (Config.Warm)
+	// and charges the modeled snapshot-restore cost (COW page remap).
+	// Outcomes are identical across all three models — the pool's
+	// Reset consumes the same entropy stream as a cold boot — so the
+	// models differ only in virtual-time cost, which is what makes the
+	// warm-vs-cold requests/virtual-second ratio a fair measurement.
+	BootModel string
+
 	// Adaptive, when non-nil, replaces the static Workers/Queue limits
 	// in traffic mode with an AIMD controller that ticks every
 	// Interval virtual cycles and resizes the worker limit (queue
@@ -176,6 +190,59 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	return c
 }
 
+// validBootModel rejects anything but the three cost models.
+func validBootModel(model string) error {
+	switch model {
+	case "", "cold", "warm":
+		return nil
+	}
+	return fmt.Errorf("unknown boot model %q (want \"cold\", \"warm\" or empty)", model)
+}
+
+// rpvsMilli converts OK terminals over a virtual-cycle span into
+// milli-requests per virtual second at the 1 GHz virtual clock.
+func rpvsMilli(ok int, cycles uint64) uint64 {
+	if cycles == 0 {
+		return 0
+	}
+	return uint64(ok) * 1_000_000_000_000 / cycles
+}
+
+// bootCosts resolves the per-scheme machine-acquisition charge for the
+// selected boot model against the workload's compiled image: the full
+// image-construction cost for "cold", the snapshot-restore cost for
+// "warm". A nil map (the legacy model) charges nothing.
+func bootCosts(srv *Server, model, workload string, schemes []string) (map[string]uint64, error) {
+	if model == "" {
+		return nil, nil
+	}
+	eng, err := srv.engine(workload)
+	if err != nil {
+		return nil, err
+	}
+	costs := make(map[string]uint64, len(schemes))
+	for _, name := range schemes {
+		if _, ok := costs[name]; ok {
+			continue
+		}
+		sc, err := ParseScheme(name)
+		if err != nil {
+			return nil, err
+		}
+		img, err := eng.Image(sc)
+		if err != nil {
+			return nil, err
+		}
+		cold, warm := pool.ModelCosts(img)
+		if model == "cold" {
+			costs[name] = cold
+		} else {
+			costs[name] = warm
+		}
+	}
+	return costs, nil
+}
+
 // SchemeCount pairs a scheme name with a counter, kept as a sorted
 // slice (not a map) so the report marshals identically every run.
 type SchemeCount struct {
@@ -233,6 +300,21 @@ type SoakReport struct {
 
 	VirtualCycles uint64 `json:"virtual_cycles"`
 	InFlightAtEnd int    `json:"in_flight_at_end"`
+
+	// BootModel records the machine-acquisition cost model ("" legacy,
+	// "cold", "warm"); RPVSMilli is the delivered goodput in
+	// milli-requests per virtual second: OK terminals over the run's
+	// virtual cycles at the 1 GHz virtual clock. The warm-vs-cold gate
+	// is a ratio of this number at the same seed.
+	BootModel string `json:"boot_model,omitempty"`
+	RPVSMilli uint64 `json:"rpvs_milli"`
+
+	// Warm-model pool traffic, read from the pool counters after the
+	// precompute phase: restores served, leases refused by a capped
+	// pool, and §4.3 image-key probe violations (must be zero).
+	PoolRestores      uint64 `json:"pool_restores,omitempty"`
+	PoolColdFallbacks uint64 `json:"pool_cold_fallbacks,omitempty"`
+	PoolKeyViolations uint64 `json:"pool_key_violations,omitempty"`
 
 	// Traffic marks an open-loop run; SLO is its per-class evaluation
 	// (nil for closed-loop runs).
@@ -315,6 +397,9 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 			return nil, err
 		}
 	}
+	if err := validBootModel(cfg.BootModel); err != nil {
+		return nil, err
+	}
 
 	// Virtual-time telemetry: the Set's clocks read the replay's `now`
 	// for the whole run, so every stamp in the dump is simulated
@@ -335,6 +420,13 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	// requests on a parallel pool, and only commutative counter adds
 	// stay deterministic there — events are recorded exclusively from
 	// the serial replay below.
+	innerReg := cfg.Telemetry.Registry()
+	if innerReg == nil && cfg.BootModel == "warm" {
+		// The report's pool counters come from the inner server's
+		// registry; give it a private one when the caller brought no
+		// telemetry sink.
+		innerReg = telemetry.NewRegistry()
+	}
 	srv := New(Config{
 		Workers:          cfg.Clients + 1, // never shed in the precompute phase
 		Queue:            cfg.Clients * cfg.Requests,
@@ -346,9 +438,14 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		CheckpointEvery:  cfg.CheckpointEvery,
 		CheckpointCrash:  cfg.CheckpointCrash,
 		BreakerThreshold: -1,
-		Telemetry:        &telemetry.Set{Reg: cfg.Telemetry.Registry()},
+		Warm:             cfg.BootModel == "warm",
+		Telemetry:        &telemetry.Set{Reg: innerReg},
 	})
 	if _, err := srv.engine(cfg.Workload); err != nil {
+		return nil, err
+	}
+	bootCost, err := bootCosts(srv, cfg.BootModel, cfg.Workload, cfg.Schemes)
+	if err != nil {
 		return nil, err
 	}
 
@@ -357,7 +454,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	// pool's scheduling cannot leak into the results.
 	total := cfg.Clients * cfg.Requests
 	outcomes := make([]soakOutcome, total)
-	err := par.ForEachCtx(ctx, total, func(id int) error {
+	err = par.ForEachCtx(ctx, total, func(id int) error {
 		client, reqIdx := id/cfg.Requests, id%cfg.Requests
 		schemeName := cfg.Schemes[reqIdx%len(cfg.Schemes)]
 		reqSeed := mix(int64(client)+0x5f, int64(reqIdx)+1)
@@ -482,7 +579,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	startService := func(client, req int) {
 		busy++
 		o := outcomeOf(client, req)
-		push(now+cfg.Overhead+o.cycles, evDone, client, req, 0)
+		push(now+cfg.Overhead+bootCost[schemeOf(req)]+o.cycles, evDone, client, req, 0)
 	}
 	nextRequest := func(client, req int) {
 		if req+1 < cfg.Requests {
@@ -577,6 +674,11 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	rep.VirtualCycles = now
 	vnow = now // final stamp for the post-run telemetry dump
 	rep.InFlightAtEnd = busy + len(fifo)
+	rep.BootModel = cfg.BootModel
+	rep.RPVSMilli = rpvsMilli(rep.OK, rep.VirtualCycles)
+	if cfg.BootModel == "warm" {
+		rep.PoolRestores, rep.PoolColdFallbacks, rep.PoolKeyViolations, _ = srv.PoolStats()
+	}
 	for c := 0; c < fault.NumCauses; c++ {
 		if rep.ByCause[c] > 0 {
 			rep.Causes = append(rep.Causes, SchemeCount{Scheme: fault.Cause(c).String(), Count: uint64(rep.ByCause[c])})

@@ -15,6 +15,7 @@ import (
 	"pacstack/internal/fault"
 	"pacstack/internal/kernel"
 	"pacstack/internal/pa"
+	"pacstack/internal/pool"
 	"pacstack/internal/resilience"
 	"pacstack/internal/snap"
 	"pacstack/internal/supervise"
@@ -53,6 +54,7 @@ type metrics struct {
 
 	sup  *supervise.Telemetry
 	snap *snap.Telemetry
+	pool *pool.Telemetry
 }
 
 // newMetrics resolves every serve-layer handle against the registry.
@@ -76,6 +78,7 @@ func newMetrics(reg *telemetry.Registry, events *telemetry.EventLog) metrics {
 			Events:           events,
 		},
 		snap: snap.NewTelemetry(reg),
+		pool: pool.NewTelemetry(reg),
 	}
 }
 

@@ -71,6 +71,9 @@ func soakTraffic(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 			return nil, err
 		}
 	}
+	if err := validBootModel(cfg.BootModel); err != nil {
+		return nil, err
+	}
 
 	vnow := uint64(0)
 	if cfg.Telemetry != nil {
@@ -98,7 +101,15 @@ func soakTraffic(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		CheckpointEvery:  cfg.CheckpointEvery,
 		CheckpointCrash:  cfg.CheckpointCrash,
 		BreakerThreshold: -1,
+		Warm:             cfg.BootModel == "warm",
 		Telemetry:        &telemetry.Set{Reg: reg},
+	}
+	if inner.Warm && reg == nil {
+		// The report's pool counters come from the inner servers'
+		// registry; give them a private one when the caller brought no
+		// telemetry sink.
+		reg = telemetry.NewRegistry()
+		inner.Telemetry = &telemetry.Set{Reg: reg}
 	}
 	srv := New(inner)
 	poisoned := inner
@@ -116,6 +127,27 @@ func soakTraffic(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		}
 		if _, err := s.engine(a.Workload); err != nil {
 			return nil, err
+		}
+	}
+
+	// Per-(workload, scheme) machine-acquisition charge under the
+	// selected boot model; empty under the legacy model.
+	bootCost := map[string]uint64{}
+	if cfg.BootModel != "" {
+		for _, a := range arrivals {
+			key := a.Workload + "/" + a.Scheme
+			if _, ok := bootCost[key]; ok {
+				continue
+			}
+			s := srv
+			if a.Poison {
+				s = psrv
+			}
+			costs, err := bootCosts(s, cfg.BootModel, a.Workload, []string{a.Scheme})
+			if err != nil {
+				return nil, err
+			}
+			bootCost[key] = costs[a.Scheme]
 		}
 	}
 
@@ -280,7 +312,7 @@ func soakTraffic(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		// Slow clients stretch their whole occupancy; the contention
 		// penalty is ceil(busy/cores) at start — an over-grown pool
 		// slows everything it admits.
-		dur := (cfg.Overhead + o.cycles) * a.Slow
+		dur := (cfg.Overhead + bootCost[a.Workload+"/"+a.Scheme] + o.cycles) * a.Slow
 		dur *= uint64((busy + cores - 1) / cores)
 		served[id] = dur
 		push(now+dur, evDone, id, 0)
@@ -412,7 +444,13 @@ func soakTraffic(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	for _, name := range rowOrder {
 		rep.PerScheme = append(rep.PerScheme, *rows[name])
 	}
+	rep.BootModel = cfg.BootModel
+	rep.RPVSMilli = rpvsMilli(rep.OK, rep.VirtualCycles)
+	if cfg.BootModel == "warm" {
+		rep.PoolRestores, rep.PoolColdFallbacks, rep.PoolKeyViolations, _ = srv.PoolStats()
+	}
 	rep.SLO = eval.Report()
+	rep.SLO.RPVSMilli = rep.RPVSMilli
 	rep.SLO.Adaptive = ctl != nil
 	if ctl != nil {
 		st := ctl.Stats()

@@ -1,0 +1,99 @@
+// BootImage: the decode-once / restore-many form of a snapshot, the
+// in-memory analogue of a fork-server's pristine parent. The serving
+// pool (internal/pool) decodes one encoded boot snapshot at start-up
+// and then restores every pooled machine from the same decoded
+// checkpoint, thousands of times, concurrently.
+//
+// The load-bearing property is isolation: a restore must deep-copy
+// every page out of the shared checkpoint, so that one restored
+// machine scribbling on its stack can never alias another machine's
+// memory — or worse, the checkpoint itself, which would leak one
+// request's state into every later restore. kernel.Process.Restore
+// guarantees this (mem.FromPages copies page contents into fresh
+// page frames; Output and SigRefs are copied slices), and
+// TestBootImageRestoreAliasing pins it: mutate one restored machine,
+// replay another, and the replay must stay golden.
+package snap
+
+import (
+	"fmt"
+
+	"pacstack/internal/isa"
+	"pacstack/internal/kernel"
+	"pacstack/internal/pa"
+)
+
+// BootImage is a validated, decoded snapshot held in memory for
+// repeated restores. The decoded checkpoint is shared by every
+// restore and must never be mutated; all mutation happens in the
+// per-machine copies Restore makes.
+type BootImage struct {
+	raw  []byte
+	meta ImageMeta
+	cp   *kernel.Checkpoint
+}
+
+// NewBootImage decodes and validates an encoded snapshot image once,
+// returning the restore-many handle. The raw bytes are copied, so the
+// caller's buffer may be reused.
+func NewBootImage(raw []byte) (*BootImage, error) {
+	cp, meta, err := Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &BootImage{
+		raw:  append([]byte(nil), raw...),
+		meta: *meta,
+		cp:   cp,
+	}, nil
+}
+
+// EncodeBootImage checkpoints the process and round-trips it through
+// the wire codec into a BootImage — the pool's start-up path, which
+// deliberately exercises Encode+Decode so a codec regression cannot
+// hide behind an in-process shortcut.
+func EncodeBootImage(p *kernel.Process, prog *isa.Program) (*BootImage, error) {
+	raw, err := Encode(p.Checkpoint(), prog)
+	if err != nil {
+		return nil, err
+	}
+	return NewBootImage(raw)
+}
+
+// Bytes returns a copy of the encoded image — what migration ships to
+// a survivor backend, which re-pools it with NewBootImage.
+func (bi *BootImage) Bytes() []byte { return append([]byte(nil), bi.raw...) }
+
+// Meta returns the image's program identity (base, CRC).
+func (bi *BootImage) Meta() ImageMeta { return bi.meta }
+
+// Pages returns the mapped page count of the checkpointed address
+// space — the input to the virtual-time boot-cost model.
+func (bi *BootImage) Pages() int { return len(bi.cp.Pages) }
+
+// Keys returns the PA key set frozen in the image. A warm restore
+// MUST NOT serve under these keys (PACStack §4.3: every incarnation
+// draws fresh keys); the pool probes each reset against them.
+func (bi *BootImage) Keys() pa.Keys { return bi.cp.Keys }
+
+// VerifyProgram checks that the image was taken from prog (CRC over
+// the symbolic program), the same identity check Store.Recover makes.
+func (bi *BootImage) VerifyProgram(prog *isa.Program) error {
+	crc, err := ProgramCRC(prog)
+	if err != nil {
+		return err
+	}
+	if crc != bi.meta.ProgCRC {
+		return fmt.Errorf("%w: image program CRC %016x does not match %016x", ErrCorrupt, bi.meta.ProgCRC, crc)
+	}
+	return nil
+}
+
+// Restore overwrites p with the image's checkpoint. p must be a
+// booted process from the same program image (kernel.Process.Restore's
+// contract). The checkpoint is shared across restores; Restore
+// deep-copies, so the returned state is fully isolated from both the
+// image and every other restored machine.
+func (bi *BootImage) Restore(p *kernel.Process) error {
+	return p.Restore(bi.cp)
+}

@@ -124,6 +124,17 @@ type Supervisor struct {
 	// runs once, on the template, and forked attempts inherit.
 	Configure func(p *kernel.Process)
 
+	// Boot, when non-nil, replaces the RespawnExec cold boot: the
+	// warm-pool serving layer plugs in a snapshot-fork reset here
+	// (restore a pooled machine from the boot image, reseed PA keys,
+	// refresh the canary). The hook must return a process that is
+	// already configured/hardened — Configure is NOT called on it, the
+	// restored checkpoint carries the hardened state. To preserve
+	// §4.3 exec-respawn semantics the hook must draw exactly what a
+	// cold boot draws from the kernel entropy pool (one key set, one
+	// canary word), in that order; the pool's Reset does.
+	Boot func() (*kernel.Process, error)
+
 	// Snapshots, when non-nil, enables crash-consistent
 	// checkpoint/restore: each attempt first tries to warm-restore the
 	// newest valid snapshot and only cold-boots (per the respawn
@@ -240,6 +251,9 @@ func (s *Supervisor) coldBoot() (*kernel.Process, error) {
 		// a byte-identical pristine victim with the template's keys.
 		return s.template.Fork(s.template.Tasks[0]), nil
 	default:
+		if s.Boot != nil {
+			return s.Boot()
+		}
 		p, err := s.Img.Boot(s.Kernel)
 		if err != nil {
 			return nil, err

@@ -157,6 +157,13 @@ type SLOReport struct {
 	Classes []ClassReport `json:"classes"`
 	Pass    bool          `json:"pass"`
 
+	// RPVSMilli is the run's delivered goodput in milli-requests per
+	// virtual second (OK terminals over virtual cycles at the 1 GHz
+	// virtual clock), copied from the enclosing soak report so the SLO
+	// block is self-contained. The warm-pool gate compares this number
+	// across boot models at the same seed.
+	RPVSMilli uint64 `json:"rpvs_milli"`
+
 	// Adaptive/Controller describe the admission policy the run used:
 	// static (Adaptive false, Controller nil) or the AIMD trajectory.
 	Adaptive   bool                  `json:"adaptive"`
